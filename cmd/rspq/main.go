@@ -1,0 +1,97 @@
+// Command rspq evaluates a regular simple path query on a db-graph.
+//
+// The graph file uses the line format of internal/graph:
+//
+//	n <numVertices>
+//	e <from> <label> <to>
+//
+// Usage:
+//
+//	rspq -graph g.txt -pattern 'a*(bb+|())c*' -from 0 -to 7
+//	rspq -graph g.txt -pattern '(aa)*' -from 0 -to 7 -algo baseline -shortest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "path to the graph file")
+	pattern := flag.String("pattern", "", "regular expression")
+	from := flag.Int("from", 0, "source vertex")
+	to := flag.Int("to", 0, "target vertex")
+	algo := flag.String("algo", "auto", "algorithm: auto, finite, subword, summary, dag, baseline, walk, naive")
+	shortest := flag.Bool("shortest", false, "return a shortest simple path")
+	dot := flag.Bool("dot", false, "emit the graph with the found path highlighted as Graphviz DOT")
+	flag.Parse()
+	if *graphPath == "" || *pattern == "" {
+		fmt.Fprintln(os.Stderr, "rspq: -graph and -pattern are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rspq: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := graph.ReadText(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rspq: %v\n", err)
+		os.Exit(1)
+	}
+	if *from < 0 || *from >= g.NumVertices() || *to < 0 || *to >= g.NumVertices() {
+		fmt.Fprintf(os.Stderr, "rspq: query vertices out of range [0,%d)\n", g.NumVertices())
+		os.Exit(1)
+	}
+
+	s, err := rspq.NewSolver(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rspq: %v\n", err)
+		os.Exit(1)
+	}
+
+	algos := map[string]rspq.Algorithm{
+		"auto": rspq.AlgoAuto, "finite": rspq.AlgoFinite, "subword": rspq.AlgoSubword,
+		"summary": rspq.AlgoSummary, "dag": rspq.AlgoDAG, "baseline": rspq.AlgoBaseline,
+		"walk": rspq.AlgoWalk, "naive": rspq.AlgoNaive,
+	}
+	chosen, ok := algos[*algo]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rspq: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	var res rspq.Result
+	if *shortest {
+		res = s.Shortest(g, *from, *to)
+	} else {
+		res = s.SolveWith(g, *from, *to, chosen)
+	}
+
+	fmt.Printf("language class : %v\n", s.Classification.Class)
+	if chosen == rspq.AlgoAuto {
+		fmt.Printf("algorithm      : %v\n", s.ChooseAlgorithm(g))
+	} else {
+		fmt.Printf("algorithm      : %v\n", chosen)
+	}
+	if !res.Found {
+		fmt.Println("result         : no simple path")
+		os.Exit(0)
+	}
+	fmt.Printf("result         : found (length %d)\n", res.Path.Len())
+	fmt.Printf("word           : %s\n", res.Path.Word())
+	fmt.Printf("path           : %v\n", res.Path)
+	if *dot {
+		if err := g.WriteDOT(os.Stdout, res.Path); err != nil {
+			fmt.Fprintf(os.Stderr, "rspq: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: compile a language, classify it, and run regular simple
+// path queries on a small edge-labeled graph.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trichotomy "repro"
+)
+
+func main() {
+	// The paper's Example 1 language: a*(bb⁺+ε)c*. It looks like the
+	// NP-complete a*bc*, but is tractable (NL-complete).
+	lang, err := trichotomy.Compile("a*(bb+|())c*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lang.Describe())
+
+	// Build a graph: an a-chain into a b-pair into a c-chain, plus a
+	// decoy single-b shortcut that is NOT in the language.
+	g := trichotomy.NewGraph(8)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'a', 2)
+	g.AddEdge(2, 'b', 3)
+	g.AddEdge(3, 'b', 4)
+	g.AddEdge(4, 'c', 5)
+	g.AddEdge(5, 'c', 6)
+	g.AddEdge(2, 'b', 7) // decoy: single b
+	g.AddEdge(7, 'c', 6) // ... then c: word "aabc" ∉ L
+
+	res := lang.Solve(g, 0, 6)
+	fmt.Printf("simple path 0→6: found=%v word=%q path=%v\n", res.Found, res.Path.Word(), res.Path)
+
+	short := lang.Shortest(g, 0, 6)
+	fmt.Printf("shortest simple path 0→6: length=%d word=%q\n", short.Path.Len(), short.Path.Word())
+
+	// Compare with a hard language on the same graph: the dispatcher
+	// transparently switches to the exact exponential baseline.
+	hard := trichotomy.MustCompile("a*bc*")
+	fmt.Println(hard.Describe())
+	res2 := hard.Solve(g, 0, 6)
+	fmt.Printf("a*bc* simple path 0→6: found=%v word=%q (algorithm: %s)\n",
+		res2.Found, res2.Path.Word(), hard.AlgorithmFor(g))
+}

@@ -1,0 +1,132 @@
+// Roadtrip: the paper's introduction motivates vertex-labeled graphs
+// with a maps scenario — "a Google Maps user may be interested to
+// specify as a condition a regular expression that enforces a stop over
+// in a given city and avoids another city while preferring certain
+// types of roads". Simple-path semantics is what a traveller wants: no
+// city is visited twice.
+//
+// We label cities by kind: 'm' metropolis, 't' town, 'v' village, and
+// ask for routes under vertex-label constraints. On vertex-labeled
+// graphs the tractable fragment is the larger class trCvlg (Theorem 5):
+// the alternation constraint (tm)* is NP-complete on edge-labeled
+// graphs yet polynomial here.
+//
+//	go run ./examples/roadtrip
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	trichotomy "repro"
+)
+
+func main() {
+	// A small road network: 12 cities.
+	labels := []byte{
+		'm', // 0 Springfield (metropolis) — start
+		't', // 1
+		'v', // 2
+		't', // 3
+		'm', // 4
+		'v', // 5
+		't', // 6
+		'v', // 7
+		't', // 8
+		'm', // 9
+		'v', // 10
+		'm', // 11 Shelbyville (metropolis) — destination
+	}
+	vg := trichotomy.NewVGraph(labels)
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 11},
+		{0, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 11},
+		{1, 6}, {3, 8}, {4, 9}, {2, 7}, {5, 10}, {10, 11},
+		{1, 3}, {1, 4}, {4, 8},
+	}
+	for _, e := range edges {
+		vg.AddEdge(e[0], e[1])
+	}
+
+	queries := []struct {
+		what    string
+		pattern string
+		to      int
+	}{
+		// Pass only through towns, then metropolises.
+		{"towns, then metropolises", "t*m*", 11},
+		// Alternate town/metropolis stops — the paper's (ab)*-style
+		// constraint, tractable on vl-graphs only.
+		{"strict town/metropolis alternation", "(tm)*", 9},
+		// Any route that avoids villages entirely.
+		{"avoid villages", "[tm]*", 11},
+		// Allow at most one detour through villages, and only if it is
+		// a real stretch (≥ 2 of them) — the Example 1 shape.
+		{"optional village stretch (≥2)", "[tm]*(vv+|())[tm]*", 11},
+	}
+
+	for _, q := range queries {
+		lang, err := trichotomy.Compile(q.pattern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := lang.SolveVlg(vg, 0, q.to)
+		fmt.Printf("%-40s %-28s edge-class=%v vlg-class=%v → ", q.what, "pattern "+q.pattern, lang.Class(), lang.ClassifyVlg())
+		if res.Found {
+			fmt.Printf("route %v (labels %q)\n", res.Path.Vertices, res.Path.Word())
+		} else {
+			fmt.Println("no route")
+		}
+	}
+
+	// Scale check: the alternation query stays fast on a big random
+	// road network because the vl-solver is polynomial. An alternating
+	// corridor is planted so the query has a witness.
+	big := randomRoadNetwork(3000, 4, 42)
+	lang := trichotomy.MustCompile("(tm)*")
+	res := big.lang(lang)
+	fmt.Printf("\nlarge network (3000 cities): alternating route found=%v (length %d)\n",
+		res.Found, res.Path.Len())
+}
+
+type network struct {
+	vg   *trichotomy.VGraph
+	x, y int
+}
+
+func (n network) lang(l *trichotomy.Language) trichotomy.Result {
+	return l.SolveVlg(n.vg, n.x, n.y)
+}
+
+func randomRoadNetwork(n, deg int, seed int64) network {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []byte{'m', 't', 'v'}
+	labels := make([]byte, n)
+	for i := range labels {
+		labels[i] = kinds[rng.Intn(len(kinds))]
+	}
+	labels[0] = 'm'
+	labels[n-1] = 'm'
+	// Plant an alternating t/m corridor from 0 to n-1 so the (tm)*
+	// query has a witness among the noise.
+	corridor := []int{0, n / 7, 2 * n / 7, 3 * n / 7, 4 * n / 7, 5 * n / 7, n - 1}
+	for i := 1; i < len(corridor); i++ {
+		if i%2 == 1 {
+			labels[corridor[i]] = 't'
+		} else {
+			labels[corridor[i]] = 'm'
+		}
+	}
+	labels[n-1] = 'm'
+	vg := trichotomy.NewVGraph(labels)
+	for i := 0; i+1 < len(corridor); i++ {
+		vg.AddEdge(corridor[i], corridor[i+1])
+	}
+	for u := 0; u < n; u++ {
+		for d := 0; d < deg; d++ {
+			vg.AddEdge(u, rng.Intn(n))
+		}
+	}
+	return network{vg: vg, x: 0, y: n - 1}
+}

@@ -1,0 +1,89 @@
+// Socialnet: SPARQL 1.1 property paths motivated much of the paper's
+// related work — under the W3C draft semantics, Kleene-star steps must
+// not revisit nodes, which is exactly simple-path semantics. This
+// example contrasts the two semantics (walks vs simple paths) on a
+// synthetic social graph with 'f' (follows) and 'k' (knows) edges, and
+// shows where they disagree.
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	trichotomy "repro"
+)
+
+func main() {
+	g := buildSocialGraph(30, 3)
+
+	// "Reachable through follows edges only" — subword-closed, the two
+	// semantics coincide (Mendelzon–Wood).
+	follows := trichotomy.MustCompile("f*")
+	// "A knows-bridge of length ≥ 2 between two follows-communities" —
+	// Example-1 shape, tractable under simple-path semantics.
+	bridge := trichotomy.MustCompile("f*(kk+|())f*")
+	// "Exactly one knows edge" — NP-complete under simple-path
+	// semantics (a*ba* shape).
+	oneKnows := trichotomy.MustCompile("f*kf*")
+
+	pairs := [][2]int{{0, 29}, {3, 27}, {5, 20}, {8, 14}}
+	fmt.Println("query                         pair     walk  simple  agree")
+	for _, lang := range []*trichotomy.Language{follows, bridge, oneKnows} {
+		for _, p := range pairs {
+			walk := lang.SolveWalk(g, p[0], p[1])
+			simple := lang.Solve(g, p[0], p[1])
+			fmt.Printf("%-28s  (%2d,%2d)  %-5v %-6v  %v\n",
+				lang.Pattern(), p[0], p[1], walk.Found, simple.Found, walk.Found == simple.Found)
+		}
+	}
+
+	// The semantics can genuinely differ: on a 2-cycle, a 3-step
+	// follows chain must revisit a node, so the walk semantics accepts
+	// while the simple semantics rejects.
+	tiny := trichotomy.NewGraph(2)
+	tiny.AddEdge(0, 'f', 1)
+	tiny.AddEdge(1, 'f', 0)
+	loopy := trichotomy.MustCompile("fff")
+	fmt.Printf("\n2-cycle, pattern fff, 0→1: walk=%v simple=%v (the walk revisits node 0)\n",
+		loopy.SolveWalk(tiny, 0, 1).Found, loopy.Solve(tiny, 0, 1).Found)
+
+	// Classification summary for the three property paths.
+	fmt.Println()
+	for _, lang := range []*trichotomy.Language{follows, bridge, oneKnows} {
+		fmt.Println(lang.Describe())
+	}
+}
+
+// buildSocialGraph synthesizes two follows-communities joined by
+// knows-bridges.
+func buildSocialGraph(n, deg int, opts ...int) *trichotomy.Graph {
+	rng := rand.New(rand.NewSource(11))
+	g := trichotomy.NewGraph(n)
+	half := n / 2
+	addCommunity := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for d := 0; d < deg; d++ {
+				v := lo + rng.Intn(hi-lo)
+				if v != u {
+					g.AddEdge(u, 'f', v)
+				}
+			}
+		}
+	}
+	addCommunity(0, half)
+	addCommunity(half, n)
+	// knows-bridges of length 2 through relay members.
+	for i := 0; i < 4; i++ {
+		a := rng.Intn(half)
+		b := half + rng.Intn(n-half)
+		relay := g.AddVertex()
+		g.AddEdge(a, 'k', relay)
+		g.AddEdge(relay, 'k', b)
+	}
+	// A couple of single knows edges.
+	g.AddEdge(2, 'k', half+2)
+	g.AddEdge(half+3, 'k', 3)
+	return g
+}

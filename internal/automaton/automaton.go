@@ -1,0 +1,84 @@
+// Package automaton implements the finite-automata substrate for the
+// RSPQ trichotomy library: regular expressions, Thompson NFAs, subset
+// construction, Hopcroft minimization, boolean operations, quotients and
+// the structural analyses (strongly connected components, Loop sets,
+// internal alphabets, aperiodicity) that the paper's definitions are
+// stated on.
+//
+// Conventions:
+//   - Labels are single bytes; alphabets are sorted, duplicate-free byte
+//     slices.
+//   - Words are Go strings over the alphabet.
+//   - All DFAs in this package are complete: every state has a transition
+//     on every alphabet letter (a rejecting sink is materialized when
+//     needed). The paper assumes the minimal DFA A_L is complete, so this
+//     mirrors the formal setup exactly.
+package automaton
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Alphabet is a sorted set of single-byte labels.
+type Alphabet []byte
+
+// NewAlphabet returns the sorted, deduplicated alphabet containing the
+// given labels.
+func NewAlphabet(labels ...byte) Alphabet {
+	seen := make(map[byte]bool, len(labels))
+	out := make(Alphabet, 0, len(labels))
+	for _, b := range labels {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns the union of the two alphabets.
+func (a Alphabet) Union(b Alphabet) Alphabet {
+	return NewAlphabet(append(append([]byte{}, a...), b...)...)
+}
+
+// Index returns the position of label in the alphabet, or -1.
+func (a Alphabet) Index(label byte) int {
+	for i, b := range a {
+		if b == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether label belongs to the alphabet.
+func (a Alphabet) Contains(label byte) bool { return a.Index(label) >= 0 }
+
+// Equal reports whether the two alphabets contain the same labels.
+func (a Alphabet) Equal(b Alphabet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a Alphabet) String() string {
+	return fmt.Sprintf("{%s}", string([]byte(a)))
+}
+
+// ContainsWord reports whether every letter of w belongs to the alphabet.
+func (a Alphabet) ContainsWord(w string) bool {
+	for i := 0; i < len(w); i++ {
+		if !a.Contains(w[i]) {
+			return false
+		}
+	}
+	return true
+}

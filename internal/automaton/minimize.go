@@ -1,0 +1,241 @@
+package automaton
+
+// Minimize returns the canonical minimal complete DFA for the receiver's
+// language: unreachable states are discarded, Hopcroft partition
+// refinement merges equivalent states, and the result is renumbered in
+// breadth-first order from the start state so that equal languages yield
+// structurally identical automata.
+func (d *DFA) Minimize() *DFA {
+	d = d.trimReachable()
+	k := len(d.Alphabet)
+	n := d.NumStates
+
+	// Hopcroft's algorithm. Partition states into accepting/rejecting
+	// blocks and refine against (block, letter) splitters.
+	block := make([]int, n) // state -> block id
+	var blocks [][]int
+	var acc, rej []int
+	for q := 0; q < n; q++ {
+		if d.Accept[q] {
+			acc = append(acc, q)
+		} else {
+			rej = append(rej, q)
+		}
+	}
+	if len(acc) > 0 {
+		for _, q := range acc {
+			block[q] = len(blocks)
+		}
+		blocks = append(blocks, acc)
+	}
+	if len(rej) > 0 {
+		for _, q := range rej {
+			block[q] = len(blocks)
+		}
+		blocks = append(blocks, rej)
+	}
+
+	// Reverse transition lists: rev[i][q] = predecessors of q on letter i.
+	rev := make([][][]int32, k)
+	for i := 0; i < k; i++ {
+		rev[i] = make([][]int32, n)
+	}
+	for q := 0; q < n; q++ {
+		for i := 0; i < k; i++ {
+			t := d.StepIndex(q, i)
+			rev[i][t] = append(rev[i][t], int32(q))
+		}
+	}
+
+	type splitter struct{ blk, letter int }
+	var work []splitter
+	inWork := map[splitter]bool{}
+	push := func(s splitter) {
+		if !inWork[s] {
+			inWork[s] = true
+			work = append(work, s)
+		}
+	}
+	smaller := 0
+	if len(blocks) == 2 && len(blocks[1]) < len(blocks[0]) {
+		smaller = 1
+	}
+	for i := 0; i < k; i++ {
+		push(splitter{smaller, i})
+		if len(blocks) == 2 {
+			push(splitter{1 - smaller, i})
+		}
+	}
+
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(inWork, s)
+
+		// States with a transition on s.letter into block s.blk.
+		var x []int32
+		for _, q := range blocks[s.blk] {
+			x = append(x, rev[s.letter][q]...)
+		}
+		if len(x) == 0 {
+			continue
+		}
+		// Group x by current block.
+		byBlock := map[int][]int32{}
+		for _, q := range x {
+			byBlock[block[q]] = append(byBlock[block[q]], q)
+		}
+		for b, hits := range byBlock {
+			if len(hits) == len(blocks[b]) {
+				continue // block fully inside splitter preimage: no split
+			}
+			// Deduplicate hits (a state may have several parallel
+			// predecessors recorded).
+			uniq := hits[:0]
+			seen := map[int32]bool{}
+			for _, q := range hits {
+				if !seen[q] {
+					seen[q] = true
+					uniq = append(uniq, q)
+				}
+			}
+			if len(uniq) == len(blocks[b]) {
+				continue
+			}
+			inHits := map[int]bool{}
+			for _, q := range uniq {
+				inHits[int(q)] = true
+			}
+			var stay, move []int
+			for _, q := range blocks[b] {
+				if inHits[q] {
+					move = append(move, q)
+				} else {
+					stay = append(stay, q)
+				}
+			}
+			if len(move) == 0 || len(stay) == 0 {
+				continue
+			}
+			newID := len(blocks)
+			blocks[b] = stay
+			blocks = append(blocks, move)
+			for _, q := range move {
+				block[q] = newID
+			}
+			for i := 0; i < k; i++ {
+				if inWork[splitter{b, i}] {
+					push(splitter{newID, i})
+				} else if len(move) <= len(stay) {
+					push(splitter{newID, i})
+				} else {
+					push(splitter{b, i})
+				}
+			}
+		}
+	}
+
+	// Build the quotient automaton.
+	m := len(blocks)
+	q2 := NewDFA(m, d.Alphabet, block[d.Start])
+	for b, members := range blocks {
+		rep := members[0]
+		q2.Accept[b] = d.Accept[rep]
+		for i := 0; i < k; i++ {
+			q2.Delta[b*k+i] = block[d.StepIndex(rep, i)]
+		}
+	}
+	return q2.canonicalize()
+}
+
+// trimReachable drops states unreachable from the start (keeping the DFA
+// complete; completeness is preserved because successors of reachable
+// states are reachable).
+func (d *DFA) trimReachable() *DFA {
+	reach := d.Reachable()
+	remap := make([]int, d.NumStates)
+	count := 0
+	for q := 0; q < d.NumStates; q++ {
+		if reach[q] {
+			remap[q] = count
+			count++
+		} else {
+			remap[q] = -1
+		}
+	}
+	if count == d.NumStates {
+		return d
+	}
+	k := len(d.Alphabet)
+	out := NewDFA(count, d.Alphabet, remap[d.Start])
+	for q := 0; q < d.NumStates; q++ {
+		if remap[q] < 0 {
+			continue
+		}
+		out.Accept[remap[q]] = d.Accept[q]
+		for i := 0; i < k; i++ {
+			out.Delta[remap[q]*k+i] = remap[d.StepIndex(q, i)]
+		}
+	}
+	return out
+}
+
+// canonicalize renumbers states in BFS order from the start so that two
+// isomorphic DFAs become identical structs.
+func (d *DFA) canonicalize() *DFA {
+	k := len(d.Alphabet)
+	remap := make([]int, d.NumStates)
+	for i := range remap {
+		remap[i] = -1
+	}
+	order := []int{d.Start}
+	remap[d.Start] = 0
+	for at := 0; at < len(order); at++ {
+		q := order[at]
+		for i := 0; i < k; i++ {
+			t := d.StepIndex(q, i)
+			if remap[t] < 0 {
+				remap[t] = len(order)
+				order = append(order, t)
+			}
+		}
+	}
+	out := NewDFA(len(order), d.Alphabet, 0)
+	for _, q := range order {
+		nq := remap[q]
+		out.Accept[nq] = d.Accept[q]
+		for i := 0; i < k; i++ {
+			out.Delta[nq*k+i] = remap[d.StepIndex(q, i)]
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether the two DFAs accept the same language. The
+// automata may use different alphabets; letters absent from one alphabet
+// are treated as rejecting.
+func Equivalent(a, b *DFA) bool {
+	alpha := a.Alphabet.Union(b.Alphabet)
+	a2 := a.ExtendAlphabet(alpha)
+	b2 := b.ExtendAlphabet(alpha)
+	// Parallel BFS over state pairs looking for a distinguishing pair.
+	type pair struct{ qa, qb int }
+	seen := map[pair]bool{}
+	queue := []pair{{a2.Start, b2.Start}}
+	seen[queue[0]] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if a2.Accept[p.qa] != b2.Accept[p.qb] {
+			return false
+		}
+		for i := range alpha {
+			np := pair{a2.StepIndex(p.qa, i), b2.StepIndex(p.qb, i)}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}

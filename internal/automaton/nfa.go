@@ -1,0 +1,296 @@
+package automaton
+
+import "sort"
+
+// NFA is a nondeterministic finite automaton with ε-transitions.
+// States are dense integers in [0, NumStates).
+type NFA struct {
+	NumStates int
+	Alphabet  Alphabet
+	Start     int
+	Accept    []bool
+	// Edges[q] lists the labeled transitions out of q.
+	Edges [][]NFAEdge
+	// Eps[q] lists the ε-successors of q.
+	Eps [][]int
+}
+
+// NFAEdge is a labeled NFA transition.
+type NFAEdge struct {
+	Label byte
+	To    int
+}
+
+// NewNFA returns an NFA with n states over the given alphabet, with no
+// transitions and no accepting states.
+func NewNFA(n int, alphabet Alphabet, start int) *NFA {
+	return &NFA{
+		NumStates: n,
+		Alphabet:  alphabet,
+		Start:     start,
+		Accept:    make([]bool, n),
+		Edges:     make([][]NFAEdge, n),
+		Eps:       make([][]int, n),
+	}
+}
+
+// AddState appends a fresh state and returns its id.
+func (n *NFA) AddState() int {
+	n.Accept = append(n.Accept, false)
+	n.Edges = append(n.Edges, nil)
+	n.Eps = append(n.Eps, nil)
+	n.NumStates++
+	return n.NumStates - 1
+}
+
+// AddEdge adds a labeled transition.
+func (n *NFA) AddEdge(from int, label byte, to int) {
+	n.Edges[from] = append(n.Edges[from], NFAEdge{Label: label, To: to})
+}
+
+// AddEps adds an ε-transition.
+func (n *NFA) AddEps(from, to int) {
+	n.Eps[from] = append(n.Eps[from], to)
+}
+
+// epsClosure expands the state set in-place to its ε-closure and returns
+// the sorted closure.
+func (n *NFA) epsClosure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int{}, states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CompileRegex builds a Thompson NFA for the expression. The NFA's
+// alphabet is the union of the expression's letters and extra, so callers
+// can force a larger ambient alphabet (needed when comparing languages
+// over a common alphabet).
+func CompileRegex(r *Regex, extra Alphabet) *NFA {
+	alpha := r.Alphabet().Union(extra)
+	n := NewNFA(0, alpha, 0)
+	start, end := n.build(r)
+	n.Start = start
+	n.Accept[end] = true
+	return n
+}
+
+// build compiles r into the NFA and returns its (start, end) states;
+// fragments have exactly one dangling end state.
+func (n *NFA) build(r *Regex) (start, end int) {
+	switch r.Op {
+	case OpEmpty:
+		s, e := n.AddState(), n.AddState()
+		return s, e // no connection: accepts nothing
+	case OpEps:
+		s := n.AddState()
+		return s, s
+	case OpLetter:
+		s, e := n.AddState(), n.AddState()
+		n.AddEdge(s, r.Label, e)
+		return s, e
+	case OpConcat:
+		start, end = n.build(r.Subs[0])
+		for _, sub := range r.Subs[1:] {
+			s2, e2 := n.build(sub)
+			n.AddEps(end, s2)
+			end = e2
+		}
+		return start, end
+	case OpUnion:
+		s, e := n.AddState(), n.AddState()
+		for _, sub := range r.Subs {
+			si, ei := n.build(sub)
+			n.AddEps(s, si)
+			n.AddEps(ei, e)
+		}
+		return s, e
+	case OpStar:
+		s, e := n.AddState(), n.AddState()
+		si, ei := n.build(r.Subs[0])
+		n.AddEps(s, si)
+		n.AddEps(ei, e)
+		n.AddEps(s, e)
+		n.AddEps(ei, si)
+		return s, e
+	case OpPlus:
+		si, ei := n.build(r.Subs[0])
+		e := n.AddState()
+		n.AddEps(ei, e)
+		n.AddEps(ei, si)
+		return si, e
+	case OpOpt:
+		s, e := n.AddState(), n.AddState()
+		si, ei := n.build(r.Subs[0])
+		n.AddEps(s, si)
+		n.AddEps(ei, e)
+		n.AddEps(s, e)
+		return s, e
+	case OpRepeat:
+		// r{min,max}: min copies, then (max-min) optional copies or a
+		// trailing star when unbounded.
+		s := n.AddState()
+		end = s
+		for i := 0; i < r.Min; i++ {
+			si, ei := n.build(r.Subs[0])
+			n.AddEps(end, si)
+			end = ei
+		}
+		if r.Max < 0 {
+			si, ei := n.build(r.Subs[0])
+			e := n.AddState()
+			n.AddEps(end, si)
+			n.AddEps(ei, si)
+			n.AddEps(ei, e)
+			n.AddEps(end, e)
+			end = e
+		} else {
+			for i := r.Min; i < r.Max; i++ {
+				si, ei := n.build(r.Subs[0])
+				e := n.AddState()
+				n.AddEps(end, si)
+				n.AddEps(ei, e)
+				n.AddEps(end, e)
+				end = e
+			}
+		}
+		return s, end
+	}
+	panic("automaton: unknown regex op")
+}
+
+// Determinize converts the NFA into a complete DFA via the subset
+// construction. The result is not minimized.
+func (n *NFA) Determinize() *DFA {
+	type subset struct {
+		key string
+		set []int
+	}
+	encode := func(set []int) string {
+		b := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return string(b)
+	}
+
+	startSet := n.epsClosure([]int{n.Start})
+	index := map[string]int{}
+	var sets [][]int
+	var order []subset
+
+	add := func(set []int) int {
+		key := encode(set)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := len(sets)
+		index[key] = id
+		sets = append(sets, set)
+		order = append(order, subset{key: key, set: set})
+		return id
+	}
+
+	startID := add(startSet)
+	_ = startID
+	k := len(n.Alphabet)
+	var delta []int
+
+	for work := 0; work < len(sets); work++ {
+		set := sets[work]
+		row := make([]int, k)
+		for li, label := range n.Alphabet {
+			var next []int
+			seen := map[int]bool{}
+			for _, s := range set {
+				for _, e := range n.Edges[s] {
+					if e.Label == label && !seen[e.To] {
+						seen[e.To] = true
+						next = append(next, e.To)
+					}
+				}
+			}
+			sort.Ints(next)
+			next = n.epsClosure(next)
+			row[li] = add(next)
+		}
+		delta = append(delta, row...)
+	}
+
+	d := &DFA{
+		NumStates: len(sets),
+		Alphabet:  n.Alphabet,
+		Start:     0,
+		Accept:    make([]bool, len(sets)),
+		Delta:     delta,
+	}
+	for id, set := range sets {
+		for _, s := range set {
+			if n.Accept[s] {
+				d.Accept[id] = true
+				break
+			}
+		}
+	}
+	return d
+}
+
+// EpsFree returns an equivalent NFA without ε-transitions. State ids
+// are preserved: state q's labeled edges become the union of the edges
+// of its ε-closure, and q accepts when its closure contains an
+// accepting state. Callers that map external positions onto NFA states
+// (the summary solver) rely on the id preservation.
+func (n *NFA) EpsFree() *NFA {
+	out := NewNFA(n.NumStates, n.Alphabet, n.Start)
+	for q := 0; q < n.NumStates; q++ {
+		closure := n.epsClosure([]int{q})
+		seen := map[NFAEdge]bool{}
+		for _, c := range closure {
+			if n.Accept[c] {
+				out.Accept[q] = true
+			}
+			for _, e := range n.Edges[c] {
+				if !seen[e] {
+					seen[e] = true
+					out.AddEdge(q, e.Label, e.To)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reverse returns an NFA for the reversed language.
+func (n *NFA) Reverse() *NFA {
+	rev := NewNFA(n.NumStates+1, n.Alphabet, n.NumStates)
+	for q := 0; q < n.NumStates; q++ {
+		for _, e := range n.Edges[q] {
+			rev.AddEdge(e.To, e.Label, q)
+		}
+		for _, t := range n.Eps[q] {
+			rev.AddEps(t, q)
+		}
+		if n.Accept[q] {
+			rev.AddEps(n.NumStates, q)
+		}
+	}
+	rev.Accept[n.Start] = true
+	return rev
+}

@@ -1,0 +1,404 @@
+package automaton
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Regex is the abstract syntax tree of a regular expression.
+//
+// The concrete syntax accepted by ParseRegex:
+//
+//	expr    := term ('|' term)*            union ('+' also accepted infix)
+//	term    := factor*                      concatenation; empty term is ε
+//	factor  := atom postfix*
+//	postfix := '*' | '+' | '?' | '{' n '}' | '{' n ',' '}' | '{' n ',' m '}'
+//	atom    := letter | '(' expr ')' | '[' letter+ ']' | 'ε' | '∅'
+//
+// Letters are ASCII alphanumerics. '(' ')' with nothing inside denotes ε.
+// The paper writes union with '+'; since this implementation uses postfix
+// '+' for "one or more", union must be written '|' (e.g. the paper's
+// a*(bb+ + ε)c* is written a*(bb+|())c* or a*(bb+)?c*).
+type Regex struct {
+	Op    RegexOp
+	Label byte     // for OpLetter
+	Subs  []*Regex // operands for OpConcat / OpUnion; single operand for OpStar/OpPlus/OpOpt
+	Min   int      // for OpRepeat: minimum count
+	Max   int      // for OpRepeat: maximum count, -1 = unbounded
+}
+
+// RegexOp enumerates regular-expression constructors.
+type RegexOp int
+
+// Regex constructors.
+const (
+	OpEmpty  RegexOp = iota // ∅, the empty language
+	OpEps                   // ε, the empty word
+	OpLetter                // a single letter
+	OpConcat                // juxtaposition
+	OpUnion                 // |
+	OpStar                  // *
+	OpPlus                  // +
+	OpOpt                   // ?
+	OpRepeat                // {n}, {n,}, {n,m}
+)
+
+// Eps returns the ε regex.
+func Eps() *Regex { return &Regex{Op: OpEps} }
+
+// Empty returns the ∅ regex.
+func Empty() *Regex { return &Regex{Op: OpEmpty} }
+
+// Letter returns the single-letter regex.
+func Letter(b byte) *Regex { return &Regex{Op: OpLetter, Label: b} }
+
+// Word returns the regex matching exactly w.
+func Word(w string) *Regex {
+	if w == "" {
+		return Eps()
+	}
+	subs := make([]*Regex, len(w))
+	for i := 0; i < len(w); i++ {
+		subs[i] = Letter(w[i])
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Regex{Op: OpConcat, Subs: subs}
+}
+
+// Concat returns the concatenation of the operands.
+func Concat(subs ...*Regex) *Regex {
+	if len(subs) == 0 {
+		return Eps()
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Regex{Op: OpConcat, Subs: subs}
+}
+
+// Union returns the union of the operands.
+func Union(subs ...*Regex) *Regex {
+	if len(subs) == 0 {
+		return Empty()
+	}
+	if len(subs) == 1 {
+		return subs[0]
+	}
+	return &Regex{Op: OpUnion, Subs: subs}
+}
+
+// Star returns r*.
+func Star(r *Regex) *Regex { return &Regex{Op: OpStar, Subs: []*Regex{r}} }
+
+// Plus returns r+.
+func Plus(r *Regex) *Regex { return &Regex{Op: OpPlus, Subs: []*Regex{r}} }
+
+// Opt returns r?.
+func Opt(r *Regex) *Regex { return &Regex{Op: OpOpt, Subs: []*Regex{r}} }
+
+// Repeat returns r{min,max}; max < 0 means unbounded.
+func Repeat(r *Regex, min, max int) *Regex {
+	return &Regex{Op: OpRepeat, Subs: []*Regex{r}, Min: min, Max: max}
+}
+
+// AnyOf returns the union of the given letters, e.g. [abc].
+func AnyOf(labels ...byte) *Regex {
+	subs := make([]*Regex, len(labels))
+	for i, b := range labels {
+		subs[i] = Letter(b)
+	}
+	return Union(subs...)
+}
+
+// Alphabet returns the set of letters that occur in the expression.
+func (r *Regex) Alphabet() Alphabet {
+	var letters []byte
+	var walk func(*Regex)
+	walk = func(n *Regex) {
+		if n == nil {
+			return
+		}
+		if n.Op == OpLetter {
+			letters = append(letters, n.Label)
+		}
+		for _, s := range n.Subs {
+			walk(s)
+		}
+	}
+	walk(r)
+	return NewAlphabet(letters...)
+}
+
+// String renders the expression back into the concrete syntax.
+func (r *Regex) String() string {
+	var b strings.Builder
+	r.write(&b, 0)
+	return b.String()
+}
+
+// precedence levels: 0 union, 1 concat, 2 postfix/atom
+func (r *Regex) write(b *strings.Builder, prec int) {
+	paren := func(need int, f func()) {
+		if prec > need {
+			b.WriteByte('(')
+			f()
+			b.WriteByte(')')
+		} else {
+			f()
+		}
+	}
+	switch r.Op {
+	case OpEmpty:
+		b.WriteString("∅")
+	case OpEps:
+		b.WriteString("()")
+	case OpLetter:
+		b.WriteByte(r.Label)
+	case OpConcat:
+		paren(1, func() {
+			for _, s := range r.Subs {
+				s.write(b, 2)
+			}
+		})
+	case OpUnion:
+		paren(0, func() {
+			for i, s := range r.Subs {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				s.write(b, 1)
+			}
+		})
+	case OpStar:
+		r.Subs[0].write(b, 2)
+		b.WriteByte('*')
+	case OpPlus:
+		r.Subs[0].write(b, 2)
+		b.WriteByte('+')
+	case OpOpt:
+		r.Subs[0].write(b, 2)
+		b.WriteByte('?')
+	case OpRepeat:
+		r.Subs[0].write(b, 2)
+		b.WriteByte('{')
+		b.WriteString(strconv.Itoa(r.Min))
+		if r.Max != r.Min {
+			b.WriteByte(',')
+			if r.Max >= 0 {
+				b.WriteString(strconv.Itoa(r.Max))
+			}
+		}
+		b.WriteByte('}')
+	}
+}
+
+type regexParser struct {
+	input string
+	pos   int
+}
+
+// ParseRegex parses the concrete regex syntax documented on Regex.
+func ParseRegex(s string) (*Regex, error) {
+	p := &regexParser{input: s}
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("regex %q: unexpected %q at position %d", s, p.input[p.pos], p.pos)
+	}
+	return r, nil
+}
+
+// MustParseRegex is ParseRegex that panics on error; for tests and
+// compile-time-constant expressions.
+func MustParseRegex(s string) *Regex {
+	r, err := ParseRegex(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (p *regexParser) peek() (byte, bool) {
+	if p.pos < len(p.input) {
+		return p.input[p.pos], true
+	}
+	return 0, false
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func (p *regexParser) parseExpr() (*Regex, error) {
+	var terms []*Regex
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	terms = append(terms, t)
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return Union(terms...), nil
+}
+
+func (p *regexParser) parseTerm() (*Regex, error) {
+	var factors []*Regex
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	return Concat(factors...), nil
+}
+
+func (p *regexParser) parseFactor() (*Regex, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch c {
+		case '*':
+			p.pos++
+			atom = Star(atom)
+		case '+':
+			p.pos++
+			atom = Plus(atom)
+		case '?':
+			p.pos++
+			atom = Opt(atom)
+		case '{':
+			min, max, err := p.parseBounds()
+			if err != nil {
+				return nil, err
+			}
+			atom = Repeat(atom, min, max)
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+func (p *regexParser) parseBounds() (min, max int, err error) {
+	p.pos++ // consume '{'
+	min, err = p.parseInt()
+	if err != nil {
+		return 0, 0, err
+	}
+	max = min
+	if c, ok := p.peek(); ok && c == ',' {
+		p.pos++
+		if c, ok := p.peek(); ok && c == '}' {
+			max = -1
+		} else {
+			max, err = p.parseInt()
+			if err != nil {
+				return 0, 0, err
+			}
+			if max < min {
+				return 0, 0, fmt.Errorf("regex bounds {%d,%d}: max below min", min, max)
+			}
+		}
+	}
+	c, ok := p.peek()
+	if !ok || c != '}' {
+		return 0, 0, fmt.Errorf("regex: missing '}' at position %d", p.pos)
+	}
+	p.pos++
+	return min, max, nil
+}
+
+func (p *regexParser) parseInt() (int, error) {
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("regex: expected integer at position %d", start)
+	}
+	return strconv.Atoi(p.input[start:p.pos])
+}
+
+func (p *regexParser) parseAtom() (*Regex, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: unexpected end of input")
+	}
+	switch {
+	case isLetter(c):
+		p.pos++
+		return Letter(c), nil
+	case c == '(':
+		p.pos++
+		if c2, ok := p.peek(); ok && c2 == ')' { // "()" is ε
+			p.pos++
+			return Eps(), nil
+		}
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c2, ok := p.peek()
+		if !ok || c2 != ')' {
+			return nil, fmt.Errorf("regex: missing ')' at position %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case c == '[':
+		p.pos++
+		var letters []byte
+		for {
+			c2, ok := p.peek()
+			if !ok {
+				return nil, fmt.Errorf("regex: missing ']'")
+			}
+			if c2 == ']' {
+				p.pos++
+				break
+			}
+			if !isLetter(c2) {
+				return nil, fmt.Errorf("regex: invalid class member %q", c2)
+			}
+			letters = append(letters, c2)
+			p.pos++
+		}
+		if len(letters) == 0 {
+			return Empty(), nil
+		}
+		return AnyOf(letters...), nil
+	case strings.HasPrefix(p.input[p.pos:], "ε"):
+		p.pos += len("ε")
+		return Eps(), nil
+	case strings.HasPrefix(p.input[p.pos:], "∅"):
+		p.pos += len("∅")
+		return Empty(), nil
+	default:
+		return nil, fmt.Errorf("regex: unexpected %q at position %d", c, p.pos)
+	}
+}

@@ -1,0 +1,232 @@
+package automaton
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// --- reference matcher (Brzozowski derivatives), independent of the
+// NFA/DFA pipeline, used to cross-validate compilation ---
+
+func nullable(r *Regex) bool {
+	switch r.Op {
+	case OpEps:
+		return true
+	case OpEmpty, OpLetter:
+		return false
+	case OpConcat:
+		for _, s := range r.Subs {
+			if !nullable(s) {
+				return false
+			}
+		}
+		return true
+	case OpUnion:
+		for _, s := range r.Subs {
+			if nullable(s) {
+				return true
+			}
+		}
+		return false
+	case OpStar, OpOpt:
+		return true
+	case OpPlus:
+		return nullable(r.Subs[0])
+	case OpRepeat:
+		return r.Min == 0 || nullable(r.Subs[0])
+	}
+	panic("unknown op")
+}
+
+func derive(r *Regex, c byte) *Regex {
+	switch r.Op {
+	case OpEmpty, OpEps:
+		return Empty()
+	case OpLetter:
+		if r.Label == c {
+			return Eps()
+		}
+		return Empty()
+	case OpConcat:
+		head, tail := r.Subs[0], Concat(r.Subs[1:]...)
+		d := Concat(derive(head, c), tail)
+		if nullable(head) {
+			return Union(d, derive(tail, c))
+		}
+		return d
+	case OpUnion:
+		subs := make([]*Regex, len(r.Subs))
+		for i, s := range r.Subs {
+			subs[i] = derive(s, c)
+		}
+		return Union(subs...)
+	case OpStar:
+		return Concat(derive(r.Subs[0], c), Star(r.Subs[0]))
+	case OpPlus:
+		return Concat(derive(r.Subs[0], c), Star(r.Subs[0]))
+	case OpOpt:
+		return derive(r.Subs[0], c)
+	case OpRepeat:
+		// d(r{min,max}) = d(r) · r{max(0,min-1), max-1}; r{_,0} = ε has
+		// an empty derivative.
+		if r.Max == 0 {
+			return Empty()
+		}
+		min := r.Min - 1
+		if min < 0 {
+			min = 0
+		}
+		max := r.Max
+		if max > 0 {
+			max--
+		}
+		if max == 0 {
+			return derive(r.Subs[0], c)
+		}
+		return Concat(derive(r.Subs[0], c), Repeat(r.Subs[0], min, max))
+	}
+	panic("unknown op")
+}
+
+// refMatch is the derivative-based reference implementation of regex
+// membership.
+func refMatch(r *Regex, w string) bool {
+	for i := 0; i < len(w); i++ {
+		r = derive(r, w[i])
+	}
+	return nullable(r)
+}
+
+// --- parser tests ---
+
+func TestParseRegexTable(t *testing.T) {
+	cases := []struct {
+		pattern string
+		accept  []string
+		reject  []string
+	}{
+		{"a*ba*", []string{"b", "ab", "ba", "aabaa"}, []string{"", "a", "bb", "abab"}},
+		{"(aa)*", []string{"", "aa", "aaaa"}, []string{"a", "aaa", "b"}},
+		{"a*bc*", []string{"b", "abc", "aab", "bcc"}, []string{"", "a", "c", "cb"}},
+		{"a*(bb+|())c*", []string{"", "a", "c", "abbc", "abbbc", "ac"}, []string{"ab", "abc", "ba", "cb"}},
+		{"a*(bb+)?c*", []string{"", "a", "c", "abbc", "abbbc", "ac"}, []string{"ab", "abc", "ba"}},
+		{"(ab)*", []string{"", "ab", "abab"}, []string{"a", "b", "ba", "aab"}},
+		{"[abc]{2,}", []string{"ab", "abc", "ccc"}, []string{"", "a", "c"}},
+		{"a{3}", []string{"aaa"}, []string{"", "a", "aa", "aaaa"}},
+		{"a{2,4}", []string{"aa", "aaa", "aaaa"}, []string{"a", "aaaaa"}},
+		{"a{2,}", []string{"aa", "aaaaaa"}, []string{"", "a"}},
+		{"ε", []string{""}, []string{"a"}},
+		{"()", []string{""}, []string{"a"}},
+		{"∅", nil, []string{"", "a"}},
+		{"a|b|c", []string{"a", "b", "c"}, []string{"", "ab"}},
+		{"a(c{2,}|())[ab]*(ac)?a*", []string{"a", "acc", "accab", "aac", "aaa", "abaca"}, []string{"", "ac", "ca"}},
+		{"abd|acd", []string{"abd", "acd"}, []string{"ad", "abcd"}},
+	}
+	for _, c := range cases {
+		r, err := ParseRegex(c.pattern)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.pattern, err)
+		}
+		d := CompileRegexToMinDFA(r, NewAlphabet('a', 'b', 'c', 'd'))
+		for _, w := range c.accept {
+			if !refMatch(r, w) {
+				t.Errorf("refMatch(%q, %q) = false, want true", c.pattern, w)
+			}
+			if !d.Member(w) {
+				t.Errorf("DFA(%q).Member(%q) = false, want true", c.pattern, w)
+			}
+		}
+		for _, w := range c.reject {
+			if refMatch(r, w) {
+				t.Errorf("refMatch(%q, %q) = true, want false", c.pattern, w)
+			}
+			if d.Member(w) {
+				t.Errorf("DFA(%q).Member(%q) = true, want false", c.pattern, w)
+			}
+		}
+	}
+}
+
+func TestParseRegexErrors(t *testing.T) {
+	bad := []string{"(", ")", "a)", "(a", "[", "a{", "a{2", "a{3,1}", "a{x}", "*", "|*", "a**b)"}
+	for _, p := range bad {
+		if _, err := ParseRegex(p); err == nil {
+			t.Errorf("ParseRegex(%q): expected error", p)
+		}
+	}
+}
+
+func TestRegexStringRoundTrip(t *testing.T) {
+	patterns := []string{
+		"a*ba*", "(aa)*", "a*bc*", "a*(bb+|())c*", "(ab)*",
+		"[abc]{2,}", "a{2,4}", "a(c{2,}|())[ab]*(ac)?a*", "abd|acd", "∅", "()",
+		"(a|bb)*c?", "((a|b)(c|d))+",
+	}
+	for _, p := range patterns {
+		r := MustParseRegex(p)
+		r2, err := ParseRegex(r.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q → %q: %v", p, r.String(), err)
+		}
+		d1 := CompileRegexToMinDFA(r, nil)
+		d2 := CompileRegexToMinDFA(r2, nil)
+		if !Equivalent(d1, d2) {
+			t.Errorf("round trip of %q changed the language (printed %q)", p, r.String())
+		}
+	}
+}
+
+// randRegex generates a random small AST over {a,b}.
+func randRegex(rng *rand.Rand, depth int) *Regex {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Eps()
+		default:
+			return Letter([]byte{'a', 'b'}[rng.Intn(2)])
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Eps()
+	case 1:
+		return Letter([]byte{'a', 'b'}[rng.Intn(2)])
+	case 2:
+		return Concat(randRegex(rng, depth-1), randRegex(rng, depth-1))
+	case 3:
+		return Union(randRegex(rng, depth-1), randRegex(rng, depth-1))
+	case 4:
+		return Star(randRegex(rng, depth-1))
+	case 5:
+		return Plus(randRegex(rng, depth-1))
+	case 6:
+		return Opt(randRegex(rng, depth-1))
+	default:
+		min := rng.Intn(3)
+		return Repeat(randRegex(rng, depth-1), min, min+rng.Intn(3))
+	}
+}
+
+// TestCompilePropertyRandom cross-validates the NFA/DFA pipeline against
+// the derivative matcher on random regexes and random words.
+func TestCompilePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		r := randRegex(rng, 3)
+		d := CompileRegexToMinDFA(r, NewAlphabet('a', 'b'))
+		for wi := 0; wi < 25; wi++ {
+			n := rng.Intn(7)
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				sb.WriteByte([]byte{'a', 'b'}[rng.Intn(2)])
+			}
+			w := sb.String()
+			want := refMatch(r, w)
+			got := d.Member(w)
+			if got != want {
+				t.Fatalf("regex %v word %q: DFA=%v derivatives=%v", r, w, got, want)
+			}
+		}
+	}
+}

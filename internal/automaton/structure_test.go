@@ -1,0 +1,181 @@
+package automaton
+
+import (
+	"testing"
+)
+
+func TestAnalyzeComponents(t *testing.T) {
+	// a*b* over {a,b}: states A (a-loop, accepts), B (b-loop, accepts),
+	// sink. Three singleton components, all nontrivial (self-loops).
+	d := mustDFA(t, "a*b*")
+	s := Analyze(d)
+	if s.NumComps != 3 {
+		t.Fatalf("a*b*: %d components, want 3", s.NumComps)
+	}
+	for q := 0; q < d.NumStates; q++ {
+		if !s.Loopable[q] {
+			t.Errorf("state %d of a*b* should be loopable", q)
+		}
+	}
+	// Internal alphabets: {a} for the a-state, {b} for the b-state,
+	// {a,b} for the sink.
+	counts := map[string]int{}
+	for c := 0; c < s.NumComps; c++ {
+		counts[string(s.InternalAlphabet[c])]++
+	}
+	if counts["a"] != 1 || counts["b"] != 1 || counts["ab"] != 1 {
+		t.Errorf("internal alphabets wrong: %v", counts)
+	}
+}
+
+func TestAnalyzeTopoOrder(t *testing.T) {
+	d := mustDFA(t, "a*b*c*")
+	s := Analyze(d)
+	// Every transition must go from a component to itself or a later one
+	// in topological order.
+	pos := make([]int, s.NumComps)
+	for i, c := range s.TopoOrder {
+		pos[c] = i
+	}
+	for q := 0; q < d.NumStates; q++ {
+		for i := range d.Alphabet {
+			to := d.StepIndex(q, i)
+			if pos[s.Comp[q]] > pos[s.Comp[to]] {
+				t.Fatalf("edge q%d→q%d violates topological order", q, to)
+			}
+		}
+	}
+}
+
+func TestAnalyzeReach(t *testing.T) {
+	d := mustDFA(t, "ab")
+	s := Analyze(d)
+	q1, _ := d.Run(d.Start, "a")
+	q2, _ := d.Run(d.Start, "ab")
+	if !s.Reach[d.Start][q1] || !s.Reach[d.Start][q2] {
+		t.Error("start should reach both successors")
+	}
+	if s.Reach[q2][d.Start] {
+		t.Error("accepting chain state should not reach start")
+	}
+}
+
+func TestAnalyzeNontrivialLoops(t *testing.T) {
+	// "ab" over {a,b}: the chain states are trivial components; only the
+	// sink loops.
+	d := mustDFA(t, "ab")
+	s := Analyze(d)
+	loopable := 0
+	for q := 0; q < d.NumStates; q++ {
+		if s.Loopable[q] {
+			loopable++
+			if !d.IsSink(q) {
+				t.Errorf("state %d loopable but not the sink", q)
+			}
+		}
+	}
+	if loopable != 1 {
+		t.Errorf("%d loopable states, want 1 (the sink)", loopable)
+	}
+}
+
+func TestSyncLength(t *testing.T) {
+	// (ab)* has a two-state component {q0,q1} with internal alphabet
+	// {a,b}; reading any single letter from both states in the component
+	// does NOT synchronize them... it maps (q0,q1) on 'a' to (q1, sink):
+	// sink is outside the component, so for the component-pair BFS the
+	// letter 'a' maps q0→q1, q1→sink; pairs leaving the component still
+	// count as distinct states. The language is not in trC, and indeed
+	// no sync length exists for a permutation-like component... but the
+	// pair may still collapse through the sink. Just assert the function
+	// terminates and is consistent.
+	d := mustDFA(t, "(ab)*")
+	s := Analyze(d)
+	for c := 0; c < s.NumComps; c++ {
+		if len(s.Members[c]) <= 1 {
+			if n, ok := s.SyncLength(c); !ok || n != 0 {
+				t.Errorf("singleton component sync length: %d %v", n, ok)
+			}
+		}
+	}
+
+	// a*b* components are singletons: sync length 0.
+	d2 := mustDFA(t, "a*b*")
+	s2 := Analyze(d2)
+	for c := 0; c < s2.NumComps; c++ {
+		if n, ok := s2.SyncLength(c); !ok || n != 0 {
+			t.Errorf("a*b* component %d: sync %d %v, want 0 true", c, n, ok)
+		}
+	}
+}
+
+func TestIsAperiodic(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    bool
+	}{
+		{"(aa)*", false}, // the canonical periodic language
+		{"a*", true},
+		{"a*b*", true},
+		{"a*ba*", true},
+		{"a*bc*", true},
+		{"a*(bb+)?c*", true}, // Example 1 language
+		{"(ab)*", true},      // star-free despite the cycle
+		{"(aaa)*", false},
+		{"((a|b)(a|b))*", false}, // even-length words: a genuine group (Z/2)
+		{"ab|ba", true},          // finite languages are aperiodic
+	}
+	for _, c := range cases {
+		d := mustDFA(t, c.pattern)
+		got, complete := d.IsAperiodic(0)
+		if !complete {
+			t.Errorf("%q: monoid exploration incomplete", c.pattern)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("IsAperiodic(%q) = %v, want %v", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    bool
+	}{
+		{"abc", true},
+		{"a|bb|ccc", true},
+		{"a{2,7}", true},
+		{"a*", false},
+		{"ab*c", false},
+		{"∅", true},
+		{"()", true},
+		{"(a|b){3}", true},
+	}
+	for _, c := range cases {
+		if got := mustDFA(t, c.pattern).IsFinite(); got != c.want {
+			t.Errorf("IsFinite(%q) = %v, want %v", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestAlphabetBasics(t *testing.T) {
+	a := NewAlphabet('b', 'a', 'b', 'c')
+	if a.String() != "{abc}" {
+		t.Errorf("alphabet string: %s", a)
+	}
+	if a.Index('b') != 1 || a.Index('z') != -1 {
+		t.Error("Index wrong")
+	}
+	if !a.ContainsWord("cab") || a.ContainsWord("xyz") {
+		t.Error("ContainsWord wrong")
+	}
+	b := NewAlphabet('c', 'd')
+	u := a.Union(b)
+	if u.String() != "{abcd}" {
+		t.Errorf("union: %s", u)
+	}
+	if !u.Equal(NewAlphabet('d', 'c', 'b', 'a')) {
+		t.Error("Equal wrong")
+	}
+}

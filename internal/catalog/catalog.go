@@ -1,0 +1,133 @@
+// Package catalog lists every concrete regular language discussed in
+// the paper, with its claimed complexity classification under both
+// graph models. It is the corpus behind experiment E1 and the test and
+// benchmark suites.
+package catalog
+
+import "repro/internal/core"
+
+// Entry is one language of the paper with its expected classification.
+type Entry struct {
+	Name    string
+	Pattern string
+	// Source cites where the paper discusses the language.
+	Source string
+	// Class is the data complexity of RSPQ(L) on edge-labeled graphs.
+	Class core.Class
+	// VlgClass is the data complexity on vertex-labeled graphs.
+	VlgClass core.Class
+}
+
+// All returns the corpus in citation order.
+func All() []Entry {
+	return []Entry{
+		{
+			Name: "even-a", Pattern: "(aa)*",
+			Source: "abstract; §1 (basic NP-complete language)",
+			Class:  core.NPComplete, VlgClass: core.NPComplete,
+		},
+		{
+			Name: "a-b-a", Pattern: "a*ba*",
+			Source: "abstract; §1; Mendelzon–Wood hardness",
+			Class:  core.NPComplete, VlgClass: core.NPComplete,
+		},
+		{
+			Name: "a-b-c", Pattern: "a*bc*",
+			Source: "Example 1 (cited as NP-complete); §4.1 (polynomial on vl-graphs)",
+			Class:  core.NPComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "alternating", Pattern: "(ab)*",
+			Source: "§1, §4.1 (the vertex-labeled split)",
+			Class:  core.NPComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "figure1", Pattern: "a*b(cc)*d",
+			Source: "Figure 1 (reduction illustration)",
+			Class:  core.NPComplete, VlgClass: core.NPComplete,
+		},
+		{
+			Name: "example1", Pattern: "a*(bb+|())c*",
+			Source: "Example 1 (tractable despite resembling a*bc*)",
+			Class:  core.NLComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "example2", Pattern: "a(c{2,}|())(a|b)*(ac)?a*",
+			Source: "Example 2 / Figures 2–3 (summary walkthrough)",
+			Class:  core.NLComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "a-star", Pattern: "a*",
+			Source: "subword-closed tractable base case (Mendelzon–Wood)",
+			Class:  core.NLComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "a-then-c", Pattern: "a*c*",
+			Source: "Example 1's first case (subword-closed)",
+			Class:  core.NLComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "sigma-star", Pattern: "(a|b)*",
+			Source: "unconstrained reachability",
+			Class:  core.NLComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "contains-b", Pattern: "(a|b)*b(a|b)*",
+			Source: "same pumping structure as a*ba*",
+			Class:  core.NPComplete, VlgClass: core.NPComplete,
+		},
+		{
+			Name: "finite-pair", Pattern: "ab|ba",
+			Source: "Theorem 2 case 1 (finite ⇒ AC⁰)",
+			Class:  core.AC0, VlgClass: core.AC0,
+		},
+		{
+			Name: "finite-word", Pattern: "abc",
+			Source: "Theorem 2 case 1",
+			Class:  core.AC0, VlgClass: core.AC0,
+		},
+		{
+			Name: "empty", Pattern: "∅",
+			Source: "degenerate finite case",
+			Class:  core.AC0, VlgClass: core.AC0,
+		},
+		{
+			Name: "epsilon", Pattern: "()",
+			Source: "degenerate finite case",
+			Class:  core.AC0, VlgClass: core.AC0,
+		},
+		{
+			Name: "a-plus-b-plus", Pattern: "a+b+",
+			Source: "Ψtr sequence with boundary letters",
+			Class:  core.NLComplete, VlgClass: core.NLComplete,
+		},
+		{
+			Name: "loop-trap", Pattern: "a*bba*",
+			Source: "pinned bb between a-loops (hard; used by experiment E5)",
+			Class:  core.NPComplete, VlgClass: core.NPComplete,
+		},
+	}
+}
+
+// Tractable returns the entries whose edge-labeled class is not
+// NP-complete.
+func Tractable() []Entry {
+	var out []Entry
+	for _, e := range All() {
+		if e.Class != core.NPComplete {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Hard returns the NP-complete entries.
+func Hard() []Entry {
+	var out []Entry
+	for _, e := range All() {
+		if e.Class == core.NPComplete {
+			out = append(out, e)
+		}
+	}
+	return out
+}

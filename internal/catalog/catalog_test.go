@@ -1,0 +1,40 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+)
+
+// TestCatalogMatchesClassifier re-derives every claimed classification
+// from the deciders — the executable form of experiment E1's table.
+func TestCatalogMatchesClassifier(t *testing.T) {
+	for _, e := range All() {
+		d, err := automaton.MinDFAFromPattern(e.Pattern)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if got := core.Classify(d, core.EdgeLabeled, nil).Class; got != e.Class {
+			t.Errorf("%s (%s): edge-labeled class %v, catalog says %v", e.Name, e.Pattern, got, e.Class)
+		}
+		if got := core.Classify(d, core.VertexLabeled, nil).Class; got != e.VlgClass {
+			t.Errorf("%s (%s): vertex-labeled class %v, catalog says %v", e.Name, e.Pattern, got, e.VlgClass)
+		}
+	}
+}
+
+func TestCatalogPartitions(t *testing.T) {
+	total := len(All())
+	if total < 15 {
+		t.Fatalf("catalog too small: %d", total)
+	}
+	if len(Tractable())+len(Hard()) != total {
+		t.Error("Tractable + Hard must partition the catalog")
+	}
+	for _, e := range Hard() {
+		if e.Class != core.NPComplete {
+			t.Errorf("%s misfiled as hard", e.Name)
+		}
+	}
+}

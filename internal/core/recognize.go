@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/automaton"
+)
+
+// This file implements the decision procedures of Theorem 3 — testing
+// trC membership for the three representations of L — plus the two
+// reduction gadgets from the hardness proofs, which the experiment
+// harness uses to generate families exhibiting the complexity split
+// (polynomial for DFAs, determinization blowup for NFAs and regexes).
+
+// TrCFromDFA decides L(d) ∈ trC. The cost is polynomial in |d| (the
+// NL-easiness side of Theorem 3(1): minimization plus the Lemma 6
+// product checks).
+func TrCFromDFA(d *automaton.DFA) bool { return InTrC(d) }
+
+// TrCFromNFA decides L(n) ∈ trC by determinizing first — the PSPACE-side
+// representation of Theorem 3(2); the subset construction may blow up
+// exponentially, which experiment E7 measures.
+func TrCFromNFA(n *automaton.NFA) bool { return InTrC(n.Determinize()) }
+
+// TrCFromRegex decides L(r) ∈ trC via Thompson + determinization,
+// Theorem 3(2)'s regular-expression representation.
+func TrCFromRegex(r *automaton.Regex) bool {
+	return InTrC(automaton.CompileRegex(r, nil).Determinize())
+}
+
+// EmptinessGadget implements the reduction of Theorem 3(1)'s hardness
+// proof: from a DFA for L (with ε ∉ L, over an alphabet not containing
+// the marker letter), it builds a DFA for L' = marker*·L·marker⁺ such
+// that L' ∈ trC ⟺ L = ∅. (The paper writes 1⁺L1⁺; any language with
+// the same loop structure works, and this direct construction keeps the
+// gadget a DFA.)
+func EmptinessGadget(d *automaton.DFA, marker byte) *automaton.DFA {
+	if d.Alphabet.Contains(marker) {
+		panic("core: marker letter must be outside the language alphabet")
+	}
+	alpha := d.Alphabet.Union(automaton.NewAlphabet(marker))
+	n := d.NumStates
+	qI := n     // new initial state
+	qF := n + 1 // new final state
+	sink := n + 2
+	out := automaton.NewDFA(n+3, alpha, qI)
+	for q := 0; q < n; q++ {
+		for _, label := range alpha {
+			switch {
+			case label == marker && d.Accept[q]:
+				out.SetDelta(q, label, qF)
+			case label == marker:
+				out.SetDelta(q, label, sink)
+			default:
+				out.SetDelta(q, label, d.Step(q, label))
+			}
+		}
+	}
+	for _, label := range alpha {
+		if label == marker {
+			out.SetDelta(qI, label, qI)
+			out.SetDelta(qF, label, qF)
+		} else {
+			out.SetDelta(qI, label, d.Step(d.Start, label))
+			out.SetDelta(qF, label, sink)
+		}
+		out.SetDelta(sink, label, sink)
+	}
+	out.Accept[qF] = true
+	return out
+}
+
+// UniversalityGadget implements the reduction of Theorem 3(2)'s hardness
+// proof: from a regex for L ⊆ {0,1}*, it builds a regex for
+// L' = (0|1)*·a*·b·a* | L·a* such that L' ∈ trC ⟺ L = {0,1}*.
+func UniversalityGadget(r *automaton.Regex) *automaton.Regex {
+	zeroOne := automaton.AnyOf('0', '1')
+	return automaton.Union(
+		automaton.Concat(
+			automaton.Star(zeroOne),
+			automaton.Star(automaton.Letter('a')),
+			automaton.Letter('b'),
+			automaton.Star(automaton.Letter('a')),
+		),
+		automaton.Concat(r, automaton.Star(automaton.Letter('a'))),
+	)
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"repro/internal/automaton"
+)
+
+// trCCheck decides the Lemma 6 characterization on a minimal complete
+// DFA. With classOf == nil it is exactly Lemma 6:
+//
+//	L ∈ trC ⟺ for all states q1, q2 with Loop(q1) ≠ ∅, Loop(q2) ≠ ∅
+//	           and q2 ∈ ∆(q1, Σ*):  (Loop(q2))^M · L_{q2} ⊆ L_{q1}
+//
+// With a non-nil classOf it is the adapted test for the vertex-labeled
+// models (Section 4.1): only loop words whose final letters are
+// equivalent are compared, i.e. for every pair of letters b1 ~ b2
+// (classOf) with Loop_{b1}(q1) ≠ ∅ and Loop_{b2}(q2) ≠ ∅ the inclusion
+// (Loop_{b2}(q2))^M · L_{q2} ⊆ L_{q1} must hold, where
+// Loop_b(q) = Loop(q) ∩ Σ*b. classOf equality gives trCvlg
+// (Definition 5); a vertex-component projection gives trCevlg
+// (Definition 6).
+//
+// Like Lemma 6 itself (versus Lemma 3's single-word form), the test uses
+// products of M possibly-different loop words; the paper proves the two
+// forms equivalent for trC and asserts the adaptation for the labeled
+// variants.
+func trCCheck(d *automaton.DFA, classOf func(a, b byte) bool) (bool, *InclusionFailure) {
+	st := automaton.Analyze(d)
+	m := d.NumStates
+	loopEnd := loopEndLetters(d, st)
+
+	anyLoop := make([]bool, m)
+	for q := 0; q < m; q++ {
+		for i := range d.Alphabet {
+			if loopEnd[q][i] {
+				anyLoop[q] = true
+				break
+			}
+		}
+	}
+
+	if classOf == nil {
+		for q2 := 0; q2 < m; q2++ {
+			if !anyLoop[q2] {
+				continue
+			}
+			// One NFA and one backward product sweep per q2: bad[q1]
+			// reports whether Loop(q2)^M·L_{q2} ⊈ L_{q1}.
+			n := loopPowerTailNFA(d, q2, -1, m)
+			bad := badStartStates(n, d)
+			for q1 := 0; q1 < m; q1++ {
+				if !anyLoop[q1] || !st.Reach[q1][q2] || !bad[q1] {
+					continue
+				}
+				word, _ := nfaMinusDFAWitness(n, d, q1)
+				return false, &InclusionFailure{Q1: q1, Q2: q2, Word: word}
+			}
+		}
+		return true, nil
+	}
+
+	for q2 := 0; q2 < m; q2++ {
+		for i2, b2 := range d.Alphabet {
+			if !loopEnd[q2][i2] {
+				continue
+			}
+			n := loopPowerTailNFA(d, q2, i2, m)
+			var bad []bool
+			for q1 := 0; q1 < m; q1++ {
+				if !st.Reach[q1][q2] {
+					continue
+				}
+				matched := false
+				for i1, b1 := range d.Alphabet {
+					if loopEnd[q1][i1] && classOf(b1, b2) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					continue
+				}
+				if bad == nil {
+					bad = badStartStates(n, d)
+				}
+				if !bad[q1] {
+					continue
+				}
+				word, _ := nfaMinusDFAWitness(n, d, q1)
+				return false, &InclusionFailure{Q1: q1, Q2: q2, Letter: b2, Word: word}
+			}
+		}
+	}
+	return true, nil
+}
+
+// badStartStates runs a single backward BFS over the product of the
+// ε-free NFA n and the DFA d, and returns, for every DFA state q, whether
+// some word of L(n) falls outside L_q — i.e. whether the pair
+// (n.Start, q) reaches a (accepting-N, rejecting-D) goal pair.
+func badStartStates(n *automaton.NFA, d *automaton.DFA) []bool {
+	nN, nD := n.NumStates, d.NumStates
+	k := len(d.Alphabet)
+	// Reverse adjacency.
+	type redge struct {
+		from  int32
+		label byte
+	}
+	rnfa := make([][]redge, nN)
+	for q := 0; q < nN; q++ {
+		for _, e := range n.Edges[q] {
+			rnfa[e.To] = append(rnfa[e.To], redge{from: int32(q), label: e.Label})
+		}
+	}
+	rdfa := make([][]int32, nD*k)
+	for q := 0; q < nD; q++ {
+		for i := 0; i < k; i++ {
+			t := d.StepIndex(q, i)
+			rdfa[t*k+i] = append(rdfa[t*k+i], int32(q))
+		}
+	}
+	seen := make([]bool, nN*nD)
+	var queue []int32
+	for ns := 0; ns < nN; ns++ {
+		if !n.Accept[ns] {
+			continue
+		}
+		for ds := 0; ds < nD; ds++ {
+			if !d.Accept[ds] {
+				id := int32(ns*nD + ds)
+				seen[id] = true
+				queue = append(queue, id)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		ns, ds := int(id)/nD, int(id)%nD
+		for _, re := range rnfa[ns] {
+			li := d.Alphabet.Index(re.label)
+			if li < 0 {
+				continue
+			}
+			for _, dp := range rdfa[ds*k+li] {
+				pid := re.from*int32(nD) + dp
+				if !seen[pid] {
+					seen[pid] = true
+					queue = append(queue, pid)
+				}
+			}
+		}
+	}
+	out := make([]bool, nD)
+	for ds := 0; ds < nD; ds++ {
+		out[ds] = seen[n.Start*nD+ds]
+	}
+	return out
+}
+
+// loopEndLetters computes, for every state q and alphabet index i,
+// whether some non-empty word ending with letter Alphabet[i] loops on q:
+// Loop_{Σ[i]}(q) ≠ ∅.
+func loopEndLetters(d *automaton.DFA, st *automaton.Structure) [][]bool {
+	k := len(d.Alphabet)
+	out := make([][]bool, d.NumStates)
+	for q := range out {
+		out[q] = make([]bool, k)
+	}
+	for p := 0; p < d.NumStates; p++ {
+		for i := 0; i < k; i++ {
+			q := d.StepIndex(p, i)
+			// The word (some path q →* p) + letter loops on q iff p is
+			// reachable from q.
+			if st.Reach[q][p] {
+				out[q][i] = true
+			}
+		}
+	}
+	return out
+}
+
+// loopPowerTailNFA builds an ε-free NFA accepting
+// (Loop_{b}(q2))^M · L_{q2}, where b = d.Alphabet[bIdx] (bIdx < 0 means
+// unrestricted loops, i.e. Loop(q2)^M · L_{q2}).
+//
+// The construction follows the proof of Theorem 3: M+1 layers of the
+// DFA; inside a layer the word follows ∆; a transition that enters q2
+// via an allowed letter may additionally advance to the next layer
+// (completing one non-empty loop word). Layer M reads L_{q2} to
+// acceptance.
+func loopPowerTailNFA(d *automaton.DFA, q2, bIdx, M int) *automaton.NFA {
+	nStates := d.NumStates
+	layers := M + 1
+	n := automaton.NewNFA(nStates*layers, d.Alphabet, 0*nStates+q2)
+	id := func(layer, q int) int { return layer*nStates + q }
+	for layer := 0; layer < layers; layer++ {
+		for q := 0; q < nStates; q++ {
+			for i, label := range d.Alphabet {
+				t := d.StepIndex(q, i)
+				n.AddEdge(id(layer, q), label, id(layer, t))
+				if layer < M && t == q2 && (bIdx < 0 || i == bIdx) {
+					n.AddEdge(id(layer, q), label, id(layer+1, q2))
+				}
+			}
+		}
+	}
+	for q := 0; q < nStates; q++ {
+		if d.Accept[q] {
+			n.Accept[id(M, q)] = true
+		}
+	}
+	return n
+}
+
+// nfaMinusDFAWitness searches for a shortest word in L(n) \ L_{q1}(d)
+// without determinizing n: a BFS over (NFA state, DFA state) pairs (see
+// nfaDFAWitness). The NFA must be ε-free, which loopPowerTailNFA
+// guarantees.
+func nfaMinusDFAWitness(n *automaton.NFA, d *automaton.DFA, q1 int) (string, bool) {
+	return nfaDFAWitness(n, d, q1, false)
+}
+
+// TrCLevelUpperBound returns the paper's bound on the pumping exponent:
+// L ∈ trC ⟺ L ∈ trC(M) (Lemma 2), so M suffices as the exponent i in
+// Definition 1 when testing words.
+func TrCLevelUpperBound(d *automaton.DFA) int { return d.Minimize().NumStates }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automaton"
+)
+
+// HardnessWitness is a verified Property-(1) witness (Lemma 4): words
+// that make the Vertex-Disjoint-Path reduction of Lemma 5 go through for
+// a language outside the tractable fragment. With q = Q1 it certifies
+//
+//	∆(i_L, WL) = Q1,  W1 ∈ Loop(Q1),  ∆(Q1, WM) = Q2,  W2 ∈ Loop(Q2),
+//	WM·W2*·WR ⊆ L_{Q1},  (W1|W2)*·WR ∩ L_{Q1} = ∅.
+type HardnessWitness struct {
+	Q1, Q2             int
+	WL, W1, WM, W2, WR string
+}
+
+func (w *HardnessWitness) String() string {
+	return fmt.Sprintf("q=%d wl=%q w1=%q wm=%q w2=%q wr=%q", w.Q1, w.WL, w.W1, w.WM, w.W2, w.WR)
+}
+
+// Verify checks every Property-(1) condition of the witness against the
+// minimal DFA, via exact automaton constructions. It returns nil when
+// the witness is valid.
+func (w *HardnessWitness) Verify(min *automaton.DFA) error {
+	if w.W1 == "" || w.W2 == "" || w.WM == "" {
+		return fmt.Errorf("w1, w2, wm must be non-empty")
+	}
+	if q, ok := min.Run(min.Start, w.WL); !ok || q != w.Q1 {
+		return fmt.Errorf("∆(iL, wl) ≠ q1")
+	}
+	if q, ok := min.Run(w.Q1, w.W1); !ok || q != w.Q1 {
+		return fmt.Errorf("w1 does not loop on q1")
+	}
+	if q, ok := min.Run(w.Q1, w.WM); !ok || q != w.Q2 {
+		return fmt.Errorf("∆(q1, wm) ≠ q2")
+	}
+	if q, ok := min.Run(w.Q2, w.W2); !ok || q != w.Q2 {
+		return fmt.Errorf("w2 does not loop on q2")
+	}
+	// Condition 1: wm·w2*·wr ⊆ L_{q1}.
+	n1 := wordStarWordNFA(min.Alphabet, w.WM, []string{w.W2}, w.WR)
+	if word, found := nfaDFAWitness(n1, min, w.Q1, false); found {
+		return fmt.Errorf("wm·w2*·wr ⊄ L_q1 (counterexample %q)", word)
+	}
+	// Condition 2: (w1|w2)*·wr ∩ L_{q1} = ∅.
+	n2 := wordStarWordNFA(min.Alphabet, "", []string{w.W1, w.W2}, w.WR)
+	if word, found := nfaDFAWitness(n2, min, w.Q1, true); found {
+		return fmt.Errorf("(w1|w2)*·wr meets L_q1 (witness %q)", word)
+	}
+	return nil
+}
+
+// ExtractHardnessWitness searches for a verified Property-(1) witness of
+// a language outside the tractable fragment. min must be the minimal
+// complete DFA. classOf, when non-nil, additionally requires w1 and w2
+// to end with equivalent letters (the vlg/evlg variants). It errors when
+// the language is tractable or when the bounded search fails (which the
+// paper's Lemma 4 proves cannot happen for genuinely hard languages; the
+// bounds below are generous).
+func ExtractHardnessWitness(min *automaton.DFA, classOf func(a, b byte) bool) (*HardnessWitness, error) {
+	st := automaton.Analyze(min)
+	m := min.NumStates
+	const loopWordLimit = 24
+
+	for q1 := 0; q1 < m; q1++ {
+		if !st.Loopable[q1] {
+			continue
+		}
+		loops1 := enumerateLoopWords(min, q1, 2*m+2, loopWordLimit)
+		if len(loops1) == 0 {
+			continue
+		}
+		for q2 := 0; q2 < m; q2++ {
+			if !st.Loopable[q2] || !st.Reach[q1][q2] {
+				continue
+			}
+			loops2 := enumerateLoopWords(min, q2, 2*m+2, loopWordLimit)
+			wl, _ := min.ShortestPathWord(min.Start, q1)
+			var wm string
+			if q1 == q2 {
+				wm = loops1[0]
+			} else if w, ok := min.ShortestPathWord(q1, q2); ok && w != "" {
+				wm = w
+			} else {
+				continue
+			}
+			for _, base := range loops2 {
+				for _, power := range []int{m, m * m} {
+					w2 := strings.Repeat(base, power)
+					// wr candidate: shortest word of w2^M·L_{q2} \ L_{q1}.
+					nw := wordPowerTailNFA(min, w2, m, q2)
+					wr, found := nfaDFAWitness(nw, min, q1, false)
+					if !found {
+						continue
+					}
+					for _, w1 := range loops1 {
+						if classOf != nil && !classOf(w1[len(w1)-1], w2[len(w2)-1]) {
+							continue
+						}
+						cand := &HardnessWitness{Q1: q1, Q2: q2, WL: wl, W1: w1, WM: wm, W2: w2, WR: wr}
+						if cand.Verify(min) == nil {
+							return cand, nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: no Property-(1) witness found (language may be tractable)")
+}
+
+// enumerateLoopWords returns non-empty words w with ∆(q, w) = q, in
+// increasing length, up to maxLen and at most limit of them.
+func enumerateLoopWords(d *automaton.DFA, q, maxLen, limit int) []string {
+	var out []string
+	type node struct {
+		state int
+		word  string
+	}
+	frontier := []node{{q, ""}}
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		var next []node
+		for _, n := range frontier {
+			for i, label := range d.Alphabet {
+				t := d.StepIndex(n.state, i)
+				w := n.word + string(label)
+				if t == q {
+					out = append(out, w)
+					if len(out) >= limit {
+						return out
+					}
+				}
+				next = append(next, node{t, w})
+			}
+		}
+		// Cap the frontier to keep the enumeration bounded on large
+		// alphabets; shortest words are preserved.
+		if len(next) > 4096 {
+			next = next[:4096]
+		}
+		frontier = next
+	}
+	return out
+}
+
+// wordStarWordNFA builds an ε-free NFA for prefix·(alts)*·suffix over
+// the given alphabet, where each alternative is a non-empty word.
+func wordStarWordNFA(alpha automaton.Alphabet, prefix string, alts []string, suffix string) *automaton.NFA {
+	n := automaton.NewNFA(1, alpha, 0)
+	// hub state: end of prefix / loop point.
+	hub := 0
+	if prefix != "" {
+		n.Start = n.AddState()
+		cur := n.Start
+		for i := 0; i < len(prefix); i++ {
+			next := hub
+			if i < len(prefix)-1 {
+				next = n.AddState()
+			}
+			n.AddEdge(cur, prefix[i], next)
+			cur = next
+		}
+	}
+	for _, alt := range alts {
+		cur := hub
+		for i := 0; i < len(alt); i++ {
+			next := hub
+			if i < len(alt)-1 {
+				next = n.AddState()
+			}
+			n.AddEdge(cur, alt[i], next)
+			cur = next
+		}
+	}
+	if suffix == "" {
+		n.Accept[hub] = true
+		return n
+	}
+	cur := hub
+	for i := 0; i < len(suffix); i++ {
+		next := n.AddState()
+		n.AddEdge(cur, suffix[i], next)
+		cur = next
+	}
+	n.Accept[cur] = true
+	return n
+}
+
+// wordPowerTailNFA builds an ε-free NFA for w^power·L_{q}(d).
+func wordPowerTailNFA(d *automaton.DFA, w string, power, q int) *automaton.NFA {
+	n := automaton.NewNFA(1, d.Alphabet, 0)
+	cur := 0
+	for rep := 0; rep < power; rep++ {
+		for i := 0; i < len(w); i++ {
+			next := n.AddState()
+			n.AddEdge(cur, w[i], next)
+			cur = next
+		}
+	}
+	// Tail: a copy of the DFA reading from q.
+	base := n.NumStates
+	for s := 0; s < d.NumStates; s++ {
+		n.AddState()
+	}
+	n.AddEps(cur, base+q)
+	for s := 0; s < d.NumStates; s++ {
+		for i, label := range d.Alphabet {
+			n.AddEdge(base+s, label, base+d.StepIndex(s, i))
+		}
+		if d.Accept[s] {
+			n.Accept[base+s] = true
+		}
+	}
+	// Remove the single ε-transition to keep nfaDFAWitness applicable:
+	// merge cur with base+q by duplicating its outgoing edges and
+	// acceptance.
+	n.Eps[cur] = nil
+	for _, e := range n.Edges[base+q] {
+		n.AddEdge(cur, e.Label, e.To)
+	}
+	if n.Accept[base+q] {
+		n.Accept[cur] = true
+	}
+	return n
+}
+
+// nfaDFAWitness searches for a shortest word accepted by the ε-free NFA
+// n whose DFA run from q lands in an accepting (wantAccept) or rejecting
+// (!wantAccept) state. It generalizes the difference/intersection
+// emptiness tests used by the trC checker and witness verification.
+func nfaDFAWitness(n *automaton.NFA, d *automaton.DFA, q int, wantAccept bool) (string, bool) {
+	type pair struct{ ns, ds int }
+	type item struct {
+		p     pair
+		via   int
+		label byte
+	}
+	items := []item{{p: pair{n.Start, q}, via: -1}}
+	seen := make([]bool, n.NumStates*d.NumStates)
+	seen[n.Start*d.NumStates+q] = true
+	for at := 0; at < len(items); at++ {
+		it := items[at]
+		if n.Accept[it.p.ns] && d.Accept[it.p.ds] == wantAccept {
+			var rev []byte
+			for i := at; items[i].via >= 0; i = items[i].via {
+				rev = append(rev, items[i].label)
+			}
+			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+				rev[l], rev[r] = rev[r], rev[l]
+			}
+			return string(rev), true
+		}
+		for _, e := range n.Edges[it.p.ns] {
+			dt, ok := d.StepOK(it.p.ds, e.Label)
+			if !ok {
+				continue
+			}
+			np := pair{e.To, dt}
+			if !seen[np.ns*d.NumStates+np.ds] {
+				seen[np.ns*d.NumStates+np.ds] = true
+				items = append(items, item{p: np, via: at, label: e.Label})
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,232 @@
+// Package graph implements the paper's graph-database models — db-graphs
+// (edge-labeled directed graphs), vl-graphs (vertex-labeled) and
+// evl-graphs (vertex-and-edge-labeled) — together with paths, seeded
+// workload generators and plain-text / DOT serialization.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/automaton"
+)
+
+// Edge is a labeled directed edge of a db-graph.
+type Edge struct {
+	From  int
+	Label byte
+	To    int
+}
+
+// Graph is a db-graph: a finite directed graph whose edges carry
+// single-byte labels. Vertices are dense integers in [0, NumVertices()).
+// The zero value is an empty graph ready to use.
+type Graph struct {
+	out   [][]Edge
+	in    [][]Edge
+	edges int
+	names []string // optional display names, "" when unset
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	return &Graph{
+		out:   make([][]Edge, n),
+		in:    make([][]Edge, n),
+		names: make([]string, n),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddVertex appends an isolated vertex and returns its id.
+func (g *Graph) AddVertex() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.names = append(g.names, "")
+	return len(g.out) - 1
+}
+
+// AddNamedVertex appends a vertex carrying a display name.
+func (g *Graph) AddNamedVertex(name string) int {
+	v := g.AddVertex()
+	g.names[v] = name
+	return v
+}
+
+// Name returns the display name of v (its id rendered in decimal when no
+// name was assigned).
+func (g *Graph) Name(v int) string {
+	if g.names[v] != "" {
+		return g.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// AddEdge inserts the labeled edge (from, label, to). Parallel edges with
+// different labels are allowed; inserting the exact same edge twice is a
+// no-op, matching the set semantics E ⊆ V×Σ×V of the paper.
+func (g *Graph) AddEdge(from int, label byte, to int) {
+	for _, e := range g.out[from] {
+		if e.Label == label && e.To == to {
+			return
+		}
+	}
+	e := Edge{From: from, Label: label, To: to}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.edges++
+}
+
+// AddWordEdge inserts a path of fresh intermediate vertices spelling the
+// word w from `from` to `to`, implementing the paper's convention that
+// "an edge labeled by a word w can be replaced with a path whose edges
+// form the word w" (proof of Lemma 5). It returns the intermediate
+// vertices created. Empty words are rejected.
+func (g *Graph) AddWordEdge(from int, w string, to int) ([]int, error) {
+	if w == "" {
+		return nil, fmt.Errorf("graph: AddWordEdge requires a non-empty word")
+	}
+	var mids []int
+	cur := from
+	for i := 0; i < len(w); i++ {
+		next := to
+		if i < len(w)-1 {
+			next = g.AddVertex()
+			mids = append(mids, next)
+		}
+		g.AddEdge(cur, w[i], next)
+		cur = next
+	}
+	return mids, nil
+}
+
+// OutEdges returns the edges leaving v. The returned slice must not be
+// modified.
+func (g *Graph) OutEdges(v int) []Edge { return g.out[v] }
+
+// InEdges returns the edges entering v. The returned slice must not be
+// modified.
+func (g *Graph) InEdges(v int) []Edge { return g.in[v] }
+
+// HasEdge reports whether the exact edge exists.
+func (g *Graph) HasEdge(from int, label byte, to int) bool {
+	for _, e := range g.out[from] {
+		if e.Label == label && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Alphabet returns the set of labels used by the graph's edges.
+func (g *Graph) Alphabet() automaton.Alphabet {
+	var labels []byte
+	seen := map[byte]bool{}
+	for _, es := range g.out {
+		for _, e := range es {
+			if !seen[e.Label] {
+				seen[e.Label] = true
+				labels = append(labels, e.Label)
+			}
+		}
+	}
+	return automaton.NewAlphabet(labels...)
+}
+
+// Edges returns all edges in deterministic order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for v := range g.out {
+		out = append(out, g.out[v]...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// IsAcyclic reports whether the graph is a DAG (ignoring labels).
+func (g *Graph) IsAcyclic() bool {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, e := range g.out[v] {
+			indeg[e.To]++
+		}
+	}
+	var queue []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, e := range g.out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen == n
+}
+
+// TopoOrder returns a topological order of a DAG, or nil if the graph has
+// a cycle.
+func (g *Graph) TopoOrder() []int {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, e := range g.out[v] {
+			indeg[e.To]++
+		}
+	}
+	var queue []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil
+	}
+	return order
+}
+
+// String renders a compact description.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %s -%c-> %s\n", g.Name(e.From), e.Label, g.Name(e.To))
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText serializes the graph in a line-oriented format:
+//
+//	n <numVertices>
+//	e <from> <label> <to>
+//
+// Vertex names are not serialized; the format captures exactly the
+// V×Σ×V structure of the paper's db-graphs.
+func (g *Graph) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "n %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "e %d %c %d\n", e.From, e.Label, e.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadText parses the format written by WriteText. Blank lines and lines
+// starting with '#' are ignored.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate vertex-count line", lineNo)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count", lineNo)
+			}
+			g = New(n)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before vertex count", lineNo)
+			}
+			if len(fields) != 4 || len(fields[2]) != 1 {
+				return nil, fmt.Errorf("graph: line %d: want 'e from label to'", lineNo)
+			}
+			var from, to int
+			if _, err := fmt.Sscanf(fields[1], "%d", &from); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad source", lineNo)
+			}
+			if _, err := fmt.Sscanf(fields[3], "%d", &to); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad target", lineNo)
+			}
+			if from < 0 || from >= g.NumVertices() || to < 0 || to >= g.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: vertex out of range", lineNo)
+			}
+			g.AddEdge(from, fields[2][0], to)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	return g, nil
+}
+
+// WriteDOT emits a Graphviz rendering, optionally highlighting the edges
+// of a path.
+func (g *Graph) WriteDOT(w io.Writer, highlight *Path) error {
+	onPath := map[[2]int]byte{}
+	if highlight != nil {
+		for i, label := range highlight.Labels {
+			onPath[[2]int{highlight.Vertices[i], highlight.Vertices[i+1]}] = label
+		}
+	}
+	if _, err := fmt.Fprintln(w, "digraph G {"); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(w, "  %d [label=%q];\n", v, g.Name(v)); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		if l, ok := onPath[[2]int{e.From, e.To}]; ok && l == e.Label {
+			attr = ", color=red, penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  %d -> %d [label=\"%c\"%s];\n", e.From, e.To, e.Label, attr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+)
+
+// VGraph is a vertex-labeled graph (the paper's vl-graph): each vertex
+// carries one label and edges are unlabeled. A path spells the word of
+// the labels of the vertices it *enters* (all vertices but the first),
+// which matches the paper's encoding of vl-graphs as db-graphs in which
+// every edge carries the label of its target vertex.
+type VGraph struct {
+	labels []byte
+	out    [][]int
+	in     [][]int
+	edges  int
+}
+
+// NewVGraph returns a vl-graph with the given vertex labels and no edges.
+func NewVGraph(labels []byte) *VGraph {
+	return &VGraph{
+		labels: append([]byte{}, labels...),
+		out:    make([][]int, len(labels)),
+		in:     make([][]int, len(labels)),
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *VGraph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns the number of edges.
+func (g *VGraph) NumEdges() int { return g.edges }
+
+// Label returns the label of v.
+func (g *VGraph) Label(v int) byte { return g.labels[v] }
+
+// AddVertex appends a vertex with the given label.
+func (g *VGraph) AddVertex(label byte) int {
+	g.labels = append(g.labels, label)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.labels) - 1
+}
+
+// AddEdge inserts the directed edge (from, to); duplicates are ignored.
+func (g *VGraph) AddEdge(from, to int) {
+	for _, t := range g.out[from] {
+		if t == to {
+			return
+		}
+	}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+	g.edges++
+}
+
+// Out returns the successors of v.
+func (g *VGraph) Out(v int) []int { return g.out[v] }
+
+// In returns the predecessors of v.
+func (g *VGraph) In(v int) []int { return g.in[v] }
+
+// Alphabet returns the set of vertex labels in use.
+func (g *VGraph) Alphabet() automaton.Alphabet {
+	return automaton.NewAlphabet(g.labels...)
+}
+
+// ToDBGraph encodes the vl-graph as a db-graph per Section 4.1 of the
+// paper: every edge (u,v) becomes (u, λ(v), v), so that no vertex has two
+// incoming edges with different labels.
+func (g *VGraph) ToDBGraph() *Graph {
+	db := New(g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.out[u] {
+			db.AddEdge(u, g.labels[v], v)
+		}
+	}
+	return db
+}
+
+// EVGraph is a vertex-and-edge-labeled graph (the paper's evl-graph).
+type EVGraph struct {
+	labels []byte // vertex labels
+	g      Graph  // edge-labeled structure
+}
+
+// NewEVGraph returns an evl-graph with the given vertex labels.
+func NewEVGraph(labels []byte) *EVGraph {
+	ev := &EVGraph{labels: append([]byte{}, labels...)}
+	ev.g = *New(len(labels))
+	return ev
+}
+
+// NumVertices returns the number of vertices.
+func (g *EVGraph) NumVertices() int { return len(g.labels) }
+
+// Label returns the vertex label of v.
+func (g *EVGraph) Label(v int) byte { return g.labels[v] }
+
+// AddVertex appends a vertex with the given label.
+func (g *EVGraph) AddVertex(label byte) int {
+	g.labels = append(g.labels, label)
+	return g.g.AddVertex()
+}
+
+// AddEdge inserts the edge (from, edgeLabel, to).
+func (g *EVGraph) AddEdge(from int, edgeLabel byte, to int) {
+	g.g.AddEdge(from, edgeLabel, to)
+}
+
+// PairLabel encodes a (vertex-label, edge-label) pair into the single
+// byte used by the db-graph encoding of evl-graphs. The paper works over
+// the product alphabet Σ_V × Σ_E; we realize it as an injective byte
+// pairing, which callers obtain through this function when writing
+// regular expressions over evl paths.
+func PairLabel(vertexLabel, edgeLabel byte) byte {
+	// Both labels are required to be lowercase letters; the pair is
+	// mapped into the contiguous byte range starting at '0'... this
+	// supports up to 8 distinct vertex and 8 distinct edge labels after
+	// normalization by the caller (see EVAlphabets).
+	return byte('A' + (vertexLabel-'a')%8*8 + (edgeLabel-'a')%8)
+}
+
+// ToDBGraph encodes the evl-graph as a db-graph over the product
+// alphabet: the edge (u, e, v) becomes (u, PairLabel(λ(v), e), v),
+// following Section 4.1 ("a vlc-graph can be seen as a db-graph over an
+// alphabet Σ_V × Σ_E").
+func (g *EVGraph) ToDBGraph() *Graph {
+	db := New(g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, e := range g.g.OutEdges(u) {
+			db.AddEdge(u, PairLabel(g.labels[e.To], e.Label), e.To)
+		}
+	}
+	return db
+}
+
+// VWordOf returns the word spelled by a vertex sequence in a vl-graph
+// (labels of all vertices after the first), checking edge existence.
+func (g *VGraph) VWordOf(vertices []int) (string, error) {
+	if len(vertices) == 0 {
+		return "", fmt.Errorf("graph: empty vertex sequence")
+	}
+	w := make([]byte, 0, len(vertices)-1)
+	for i := 0; i+1 < len(vertices); i++ {
+		found := false
+		for _, t := range g.out[vertices[i]] {
+			if t == vertices[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", fmt.Errorf("graph: missing edge %d→%d", vertices[i], vertices[i+1])
+		}
+		w = append(w, g.labels[vertices[i+1]])
+	}
+	return string(w), nil
+}

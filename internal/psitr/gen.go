@@ -1,0 +1,59 @@
+package psitr
+
+import (
+	"math/rand"
+
+	"repro/internal/automaton"
+)
+
+// RandomExpr generates a random Ψtr expression over the given alphabet:
+// up to maxSeqs sequences, each with up to maxTerms middle terms. It is
+// the generator behind the Theorem 4 property tests (every generated
+// expression must be classified in trC) and the fragment benchmarks.
+func RandomExpr(rng *rand.Rand, alphabet []byte, maxSeqs, maxTerms int) *Expr {
+	e := &Expr{}
+	nSeqs := 1 + rng.Intn(maxSeqs)
+	for i := 0; i < nSeqs; i++ {
+		e.Seqs = append(e.Seqs, randomSequence(rng, alphabet, maxTerms))
+	}
+	return e
+}
+
+func randomSequence(rng *rand.Rand, alphabet []byte, maxTerms int) *Sequence {
+	s := &Sequence{
+		Prefix: randomWord(rng, alphabet, 3),
+		Suffix: randomWord(rng, alphabet, 3),
+	}
+	nTerms := rng.Intn(maxTerms + 1)
+	for i := 0; i < nTerms; i++ {
+		if rng.Intn(2) == 0 {
+			w := randomWord(rng, alphabet, 3)
+			if w == "" {
+				w = string(alphabet[rng.Intn(len(alphabet))])
+			}
+			s.Terms = append(s.Terms, Term{Kind: OptWord, W: w})
+		} else {
+			// Random non-empty letter subset.
+			var set []byte
+			for _, a := range alphabet {
+				if rng.Intn(2) == 0 {
+					set = append(set, a)
+				}
+			}
+			if len(set) == 0 {
+				set = []byte{alphabet[rng.Intn(len(alphabet))]}
+			}
+			s.Terms = append(s.Terms, Term{Kind: Gap, A: automaton.NewAlphabet(set...), K: rng.Intn(3)})
+		}
+	}
+	return s
+}
+
+func randomWord(rng *rand.Rand, alphabet []byte, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	w := make([]byte, n)
+	for i := range w {
+		w[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(w)
+}

@@ -1,0 +1,183 @@
+// Package psitr implements the paper's Ψtr fragment of regular
+// expressions (Section 3.5, Theorem 4): the languages denotable by
+// disjunctions of Ψtr-sequences
+//
+//	w · ϕ1 ⋯ ϕl · w'
+//
+// where w, w' are words and every middle term ϕ is either (u + ε) for a
+// word u, or (A^{≥k} + ε) for a letter set A (A^{≥k} = A^k·A*). Theorem
+// 4 proves these are exactly the trC languages, i.e. the tractable
+// fragment for regular simple path queries. The package provides the
+// AST, conversion to and from general regular expressions, and the term
+// structure that the summary-based solver (internal/rspq) evaluates
+// directly, following the paper's remark that summaries can be read off
+// Ψtr expressions (the k first and k last positions of each A^{≥k} term
+// stay explicit; the middle becomes an A* gap).
+package psitr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/automaton"
+)
+
+// TermKind enumerates the middle-term shapes of a Ψtr-sequence.
+type TermKind int
+
+// Term kinds.
+const (
+	// OptWord is (w + ε) for a non-empty word w.
+	OptWord TermKind = iota
+	// Gap is (A^{≥k} + ε): either ε or at least k letters from A.
+	Gap
+)
+
+// Term is a Ψtr middle term.
+type Term struct {
+	Kind TermKind
+	// W is the word of an OptWord term.
+	W string
+	// A is the letter set of a Gap term.
+	A automaton.Alphabet
+	// K is the minimum length of a non-empty Gap match.
+	K int
+}
+
+func (t Term) String() string {
+	switch t.Kind {
+	case OptWord:
+		return fmt.Sprintf("(%s)?", t.W)
+	case Gap:
+		if t.K == 0 {
+			return fmt.Sprintf("[%s]*", string(t.A))
+		}
+		return fmt.Sprintf("([%s]{%d,})?", string(t.A), t.K)
+	}
+	return "<bad term>"
+}
+
+// Sequence is a Ψtr-sequence: a mandatory prefix word, middle terms, and
+// a mandatory suffix word.
+type Sequence struct {
+	Prefix string
+	Terms  []Term
+	Suffix string
+}
+
+func (s *Sequence) String() string {
+	var b strings.Builder
+	b.WriteString(s.Prefix)
+	for _, t := range s.Terms {
+		b.WriteString(t.String())
+	}
+	b.WriteString(s.Suffix)
+	if b.Len() == 0 {
+		return "()"
+	}
+	return b.String()
+}
+
+// Expr is a Ψtr expression: a disjunction of sequences. An Expr with no
+// sequences denotes the empty language.
+type Expr struct {
+	Seqs []*Sequence
+}
+
+func (e *Expr) String() string {
+	if len(e.Seqs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(e.Seqs))
+	for i, s := range e.Seqs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Alphabet returns the letters used by the expression.
+func (e *Expr) Alphabet() automaton.Alphabet {
+	var letters []byte
+	for _, s := range e.Seqs {
+		letters = append(letters, s.Prefix...)
+		letters = append(letters, s.Suffix...)
+		for _, t := range s.Terms {
+			letters = append(letters, t.W...)
+			letters = append(letters, t.A...)
+		}
+	}
+	return automaton.NewAlphabet(letters...)
+}
+
+// ToRegex converts the expression to a general regular expression with
+// the same language.
+func (e *Expr) ToRegex() *automaton.Regex {
+	if len(e.Seqs) == 0 {
+		return automaton.Empty()
+	}
+	subs := make([]*automaton.Regex, len(e.Seqs))
+	for i, s := range e.Seqs {
+		subs[i] = s.toRegex()
+	}
+	return automaton.Union(subs...)
+}
+
+func (s *Sequence) toRegex() *automaton.Regex {
+	var parts []*automaton.Regex
+	if s.Prefix != "" {
+		parts = append(parts, automaton.Word(s.Prefix))
+	}
+	for _, t := range s.Terms {
+		switch t.Kind {
+		case OptWord:
+			parts = append(parts, automaton.Opt(automaton.Word(t.W)))
+		case Gap:
+			letters := make([]*automaton.Regex, len(t.A))
+			for i, a := range t.A {
+				letters[i] = automaton.Letter(a)
+			}
+			set := automaton.Union(letters...)
+			body := automaton.Repeat(set, t.K, -1)
+			if t.K == 0 {
+				parts = append(parts, body) // A^{≥0} already contains ε
+			} else {
+				parts = append(parts, automaton.Opt(body))
+			}
+		}
+	}
+	if s.Suffix != "" {
+		parts = append(parts, automaton.Word(s.Suffix))
+	}
+	return automaton.Concat(parts...)
+}
+
+// MinDFA compiles the expression to its canonical minimal complete DFA
+// over the union of the expression alphabet and extra.
+func (e *Expr) MinDFA(extra automaton.Alphabet) *automaton.DFA {
+	return automaton.CompileRegexToMinDFA(e.ToRegex(), extra)
+}
+
+// Validate checks structural invariants: OptWord terms have non-empty
+// words, Gap terms non-empty letter sets and K ≥ 0.
+func (e *Expr) Validate() error {
+	for _, s := range e.Seqs {
+		for _, t := range s.Terms {
+			switch t.Kind {
+			case OptWord:
+				if t.W == "" {
+					return fmt.Errorf("psitr: OptWord term with empty word")
+				}
+			case Gap:
+				if len(t.A) == 0 {
+					return fmt.Errorf("psitr: Gap term with empty letter set")
+				}
+				if t.K < 0 {
+					return fmt.Errorf("psitr: Gap term with negative minimum")
+				}
+			default:
+				return fmt.Errorf("psitr: unknown term kind %d", t.Kind)
+			}
+		}
+	}
+	return nil
+}

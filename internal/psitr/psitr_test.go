@@ -1,0 +1,181 @@
+package psitr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+)
+
+func mustRegex(t *testing.T, pattern string) *automaton.Regex {
+	t.Helper()
+	r, err := automaton.ParseRegex(pattern)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pattern, err)
+	}
+	return r
+}
+
+// TestFromRegexAccepts checks the normalizer on the paper's tractable
+// languages and other trC shapes: it must succeed and preserve the
+// language exactly.
+func TestFromRegexAccepts(t *testing.T) {
+	patterns := []string{
+		"a*(bb+|())c*",             // Example 1
+		"a(c{2,}|())(a|b)*(ac)?a*", // Example 2
+		"a*",
+		"a*c*",
+		"(a|b)*",
+		"a+b+",
+		"a+",
+		"abc",
+		"ab|ba",
+		"()",
+		"∅",
+		"a*(b|())",
+		"a?b?c?",
+		"[ab]{2,}",
+		"[abc]*",
+		"a{3,}",
+		"(bb+)?",
+		"a*(bb+)?c*",
+		"x[ab]*y",
+		"abc[ab]*(de)?[bc]{1,}c",
+		"a|b*|c+",
+		"(a|b)(a|b)",
+		"a{2,4}b*",
+	}
+	for _, p := range patterns {
+		r := mustRegex(t, p)
+		e, err := FromRegex(r)
+		if err != nil {
+			t.Errorf("FromRegex(%q): %v", p, err)
+			continue
+		}
+		want := automaton.CompileRegexToMinDFA(r, nil)
+		got := e.MinDFA(nil)
+		if !automaton.Equivalent(got, want) {
+			t.Errorf("FromRegex(%q) = %v: language changed", p, e)
+		}
+	}
+}
+
+// TestFromRegexRejects checks that non-trC shapes are structurally
+// rejected (the normalizer must never "succeed wrongly", and these
+// languages are outside the fragment by Theorem 4).
+func TestFromRegexRejects(t *testing.T) {
+	patterns := []string{
+		"(aa)*",
+		"a*ba*",
+		"a*bc*",
+		"(ab)*",
+		"a*b(cc)*d",
+		"(aa)+",
+		"(ab){2,}",
+		"(a|b)*b(a|b)*",
+	}
+	for _, p := range patterns {
+		if e, err := FromRegex(mustRegex(t, p)); err == nil {
+			t.Errorf("FromRegex(%q) succeeded with %v; these languages are not in trC", p, e)
+		}
+	}
+}
+
+// TestPsitrAlwaysTrC is the Theorem 4 forward direction: every Ψtr
+// expression denotes a trC language.
+func TestPsitrAlwaysTrC(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		e := RandomExpr(rng, []byte{'a', 'b'}, 2, 3)
+		d := e.MinDFA(nil)
+		if !core.InTrC(d) {
+			t.Fatalf("Ψtr expression %v is not in trC (DFA:\n%s)", e, d)
+		}
+	}
+}
+
+// TestRoundTrip: normalizing the regex rendering of a random Ψtr
+// expression succeeds and preserves the language.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		e := RandomExpr(rng, []byte{'a', 'b', 'c'}, 2, 2)
+		r := e.ToRegex()
+		e2, err := FromRegex(r)
+		if err != nil {
+			t.Fatalf("round trip of %v failed: %v", e, err)
+		}
+		if !automaton.Equivalent(e.MinDFA(nil), e2.MinDFA(nil)) {
+			t.Fatalf("round trip of %v changed the language (got %v)", e, e2)
+		}
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	s := &Sequence{
+		Prefix: "ab",
+		Terms: []Term{
+			{Kind: OptWord, W: "cd"},
+			{Kind: Gap, A: automaton.NewAlphabet('a', 'b'), K: 2},
+			{Kind: Gap, A: automaton.NewAlphabet('c'), K: 0},
+		},
+		Suffix: "e",
+	}
+	want := "ab(cd)?([ab]{2,})?[c]*e"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	empty := &Expr{}
+	if empty.String() != "∅" {
+		t.Errorf("empty expr renders %q", empty.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Expr{
+		{Seqs: []*Sequence{{Terms: []Term{{Kind: OptWord, W: ""}}}}},
+		{Seqs: []*Sequence{{Terms: []Term{{Kind: Gap}}}}},
+		{Seqs: []*Sequence{{Terms: []Term{{Kind: Gap, A: automaton.NewAlphabet('a'), K: -1}}}}},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := &Expr{Seqs: []*Sequence{{Prefix: "a"}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	e := &Expr{Seqs: []*Sequence{{
+		Prefix: "ab",
+		Terms:  []Term{{Kind: Gap, A: automaton.NewAlphabet('c', 'd'), K: 0}},
+		Suffix: "e",
+	}}}
+	if got := e.Alphabet().String(); got != "{abcde}" {
+		t.Errorf("Alphabet() = %s", got)
+	}
+}
+
+// TestExampleOneStructure pins down the normal form of the paper's
+// Example 1 language.
+func TestExampleOneStructure(t *testing.T) {
+	e, err := FromRegex(mustRegex(t, "a*(bb+|())c*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Seqs) != 1 {
+		t.Fatalf("want a single sequence, got %d: %v", len(e.Seqs), e)
+	}
+	s := e.Seqs[0]
+	if len(s.Terms) != 3 {
+		t.Fatalf("want 3 terms, got %v", s)
+	}
+	mid := s.Terms[1]
+	if mid.Kind != Gap || mid.K != 2 || mid.A.String() != "{b}" {
+		t.Errorf("middle term should be ([b]{2,})?, got %v", mid)
+	}
+}

@@ -1,0 +1,120 @@
+package rspq
+
+import (
+	"repro/internal/automaton"
+	"repro/internal/graph"
+)
+
+// BaselineStats reports the work done by the exponential baseline; the
+// benchmarks use it to show the NP-side search-space growth.
+type BaselineStats struct {
+	Nodes int64 // DFS nodes expanded
+}
+
+// Baseline answers RSPQ(L) exactly for any regular language by
+// backtracking over the product G × A_L with a visited set, pruned by
+// product co-reachability. Worst-case exponential (the problem is
+// NP-complete outside trC); complete and sound for every language.
+// stats may be nil.
+func Baseline(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
+	p := newProduct(g, d)
+	co := p.coReach(y)
+	visited := make([]bool, g.NumVertices())
+	var vs []int
+	var ls []byte
+
+	var dfs func(v, q int) bool
+	dfs = func(v, q int) bool {
+		if stats != nil {
+			stats.Nodes++
+		}
+		if v == y && d.Accept[q] {
+			return true
+		}
+		for _, e := range g.OutEdges(v) {
+			t, ok := d.StepOK(q, e.Label)
+			if !ok || visited[e.To] || !co[p.id(e.To, t)] {
+				continue
+			}
+			visited[e.To] = true
+			vs = append(vs, e.To)
+			ls = append(ls, e.Label)
+			if dfs(e.To, t) {
+				return true
+			}
+			visited[e.To] = false
+			vs = vs[:len(vs)-1]
+			ls = ls[:len(ls)-1]
+		}
+		return false
+	}
+
+	if !co[p.id(x, d.Start)] {
+		return Result{}
+	}
+	visited[x] = true
+	vs = append(vs, x)
+	if dfs(x, d.Start) {
+		return Result{Found: true, Path: &graph.Path{Vertices: vs, Labels: ls}}
+	}
+	return Result{}
+}
+
+// BaselineShortest returns a shortest simple L-labeled path via
+// iterative deepening over the same pruned search, or Found=false. The
+// product distance to the goal provides an admissible lower bound, so
+// the first depth at which a path appears is optimal.
+func BaselineShortest(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
+	p := newProduct(g, d)
+	dist := p.distToGoal(y)
+	start := p.id(x, d.Start)
+	if dist[start] < 0 {
+		return Result{}
+	}
+	visited := make([]bool, g.NumVertices())
+	var vs []int
+	var ls []byte
+
+	maxDepth := g.NumVertices() - 1
+	for limit := dist[start]; limit <= maxDepth; limit++ {
+		var dfs func(v, q, used int) bool
+		dfs = func(v, q, used int) bool {
+			if stats != nil {
+				stats.Nodes++
+			}
+			if v == y && d.Accept[q] && used == limit {
+				return true
+			}
+			if used >= limit {
+				return false
+			}
+			for _, e := range g.OutEdges(v) {
+				t, ok := d.StepOK(q, e.Label)
+				if !ok || visited[e.To] {
+					continue
+				}
+				if dg := dist[p.id(e.To, t)]; dg < 0 || used+1+dg > limit {
+					continue
+				}
+				visited[e.To] = true
+				vs = append(vs, e.To)
+				ls = append(ls, e.Label)
+				if dfs(e.To, t, used+1) {
+					return true
+				}
+				visited[e.To] = false
+				vs = vs[:len(vs)-1]
+				ls = ls[:len(ls)-1]
+			}
+			return false
+		}
+		visited[x] = true
+		vs = append(vs[:0], x)
+		ls = ls[:0]
+		if dfs(x, d.Start, 0) {
+			return Result{Found: true, Path: &graph.Path{Vertices: vs, Labels: ls}}
+		}
+		visited[x] = false
+	}
+	return Result{}
+}

@@ -1,0 +1,100 @@
+package rspq
+
+import (
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+)
+
+// Finite answers RSPQ(L) for finite languages — the AC⁰ tier of
+// Theorem 2. Each word w ∈ L is matched by a word-constrained simple
+// path search (the FO-expressible predicate path_w(x,y) of Lemma 17's
+// easiness proof). Words are tried in increasing length, so the result
+// is a shortest simple L-labeled path.
+func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
+	min := d.Minimize()
+	if !min.IsFinite() {
+		// Guard against misuse; the dispatcher never routes infinite
+		// languages here.
+		return Baseline(g, d, x, y, nil)
+	}
+	// Longest word of a finite language < number of DFA states.
+	words := min.Words(min.NumStates, -1)
+	sort.Slice(words, func(i, j int) bool {
+		if len(words[i]) != len(words[j]) {
+			return len(words[i]) < len(words[j])
+		}
+		return words[i] < words[j]
+	})
+	for _, w := range words {
+		if p := wordPath(g, w, x, y); p != nil {
+			return Result{Found: true, Path: p}
+		}
+	}
+	return Result{}
+}
+
+// wordPath finds a simple path from x to y spelling exactly w, by
+// depth-first search over the |w| positions.
+func wordPath(g *graph.Graph, w string, x, y int) *graph.Path {
+	if x == y {
+		if w == "" {
+			return graph.PathAt(x)
+		}
+		return nil
+	}
+	if w == "" {
+		return nil
+	}
+	visited := make([]bool, g.NumVertices())
+	var vs []int
+	var ls []byte
+	var dfs func(v, i int) bool
+	dfs = func(v, i int) bool {
+		if i == len(w) {
+			return v == y
+		}
+		for _, e := range g.OutEdges(v) {
+			if e.Label != w[i] || visited[e.To] {
+				continue
+			}
+			// The endpoint must be reached exactly at the last letter.
+			if e.To == y && i != len(w)-1 {
+				continue
+			}
+			visited[e.To] = true
+			vs = append(vs, e.To)
+			ls = append(ls, e.Label)
+			if dfs(e.To, i+1) {
+				return true
+			}
+			visited[e.To] = false
+			vs = vs[:len(vs)-1]
+			ls = ls[:len(ls)-1]
+		}
+		return false
+	}
+	visited[x] = true
+	vs = append(vs, x)
+	if dfs(x, 0) {
+		return &graph.Path{Vertices: vs, Labels: ls}
+	}
+	return nil
+}
+
+// DAG answers RSPQ(L) on acyclic graphs, where every walk is simple and
+// the problem collapses to classical RPQ evaluation — the immediate
+// case of Theorem 8 (DAGs have directed treewidth 0). The returned
+// path is a shortest simple L-labeled path. It returns ok=false when
+// the graph is not acyclic.
+func DAG(g *graph.Graph, d *automaton.DFA, x, y int) (Result, bool) {
+	if !g.IsAcyclic() {
+		return Result{}, false
+	}
+	walk := ShortestWalk(g, d, x, y)
+	if walk == nil {
+		return Result{}, true
+	}
+	return Result{Found: true, Path: walk}, true
+}

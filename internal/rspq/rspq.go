@@ -1,0 +1,193 @@
+// Package rspq implements the paper's query-evaluation algorithms:
+//
+//   - the summary-based polynomial solver for tractable (trC) languages
+//     given as Ψtr expressions (Lemmas 12–16 and the §3.5 adaptation);
+//   - the classical product-BFS RPQ solver (arbitrary-path semantics);
+//   - an exact exponential baseline (backtracking over the product with
+//     co-reachability pruning) used as ground truth and as the "NP side"
+//     comparator;
+//   - the unsound naive loop-elimination heuristic defeated by the
+//     paper's Example 4;
+//   - the Mendelzon–Wood fast path for subword-closed languages (trC(0));
+//   - the finite-language solver (the AC⁰ tier of Theorem 2);
+//   - the color-coding FPT algorithm for k-RSPQ (Theorem 7);
+//   - the DAG solver (Theorem 8's polynomial combined-complexity case);
+//   - the vertex-labeled (vl-graph) solvers of Section 4.1;
+//   - a dispatcher that classifies the language and picks the right
+//     algorithm.
+//
+// Every solver returns a concrete witness path on success; callers can
+// re-verify simplicity and membership independently.
+package rspq
+
+import (
+	"repro/internal/automaton"
+	"repro/internal/graph"
+)
+
+// Result is the outcome of a query: whether a simple L-labeled path
+// exists, and a witness path when it does.
+type Result struct {
+	Found bool
+	Path  *graph.Path
+}
+
+// VerifyWitness checks that a result's path really is a simple
+// L(d)-labeled path of g from x to y. Tests use it to make the YES
+// direction of every solver self-checking.
+func VerifyWitness(res Result, g *graph.Graph, d *automaton.DFA, x, y int) bool {
+	if !res.Found {
+		return true
+	}
+	p := res.Path
+	if p == nil || p.Source() != x || p.Target() != y {
+		return false
+	}
+	return p.IsSimple() && p.ValidIn(g) && d.Member(p.Word())
+}
+
+// product indexes (vertex, state) pairs of the G×A_L product graph.
+type product struct {
+	g *graph.Graph
+	d *automaton.DFA
+	n int // vertices
+	m int // states
+}
+
+func newProduct(g *graph.Graph, d *automaton.DFA) *product {
+	return &product{g: g, d: d, n: g.NumVertices(), m: d.NumStates}
+}
+
+func (p *product) id(v, q int) int { return v*p.m + q }
+
+// coReach computes, for every (v, q), whether some walk from v labeled
+// w with ∆(q, w) accepting reaches y. This ignores simplicity and is
+// the standard pruning oracle for the simple-path searches.
+func (p *product) coReach(y int) []bool {
+	// Backward BFS over the product needs reverse edges.
+	out := make([]bool, p.n*p.m)
+	var queue []int
+	for q := 0; q < p.m; q++ {
+		if p.d.Accept[q] {
+			id := p.id(y, q)
+			out[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		v, q := id/p.m, id%p.m
+		for _, e := range p.g.InEdges(v) {
+			// Predecessor states q' with ∆(q', label) = q.
+			for qp := 0; qp < p.m; qp++ {
+				if t, ok := p.d.StepOK(qp, e.Label); ok && t == q {
+					pid := p.id(e.From, qp)
+					if !out[pid] {
+						out[pid] = true
+						queue = append(queue, pid)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// distToGoal computes product BFS distances to the accepting goal
+// (y, accepting); -1 when unreachable.
+func (p *product) distToGoal(y int) []int {
+	dist := make([]int, p.n*p.m)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int
+	for q := 0; q < p.m; q++ {
+		if p.d.Accept[q] {
+			id := p.id(y, q)
+			dist[id] = 0
+			queue = append(queue, id)
+		}
+	}
+	for at := 0; at < len(queue); at++ {
+		id := queue[at]
+		v, q := id/p.m, id%p.m
+		for _, e := range p.g.InEdges(v) {
+			for qp := 0; qp < p.m; qp++ {
+				if t, ok := p.d.StepOK(qp, e.Label); ok && t == q {
+					pid := p.id(e.From, qp)
+					if dist[pid] < 0 {
+						dist[pid] = dist[id] + 1
+						queue = append(queue, pid)
+					}
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestWalk returns a shortest (not necessarily simple) L-labeled
+// walk from x to y, or nil: the classical RPQ evaluation via BFS over
+// the product G × A_L.
+func ShortestWalk(g *graph.Graph, d *automaton.DFA, x, y int) *graph.Path {
+	p := newProduct(g, d)
+	type parentRec struct {
+		prev  int
+		label byte
+	}
+	parent := make([]parentRec, p.n*p.m)
+	seen := make([]bool, p.n*p.m)
+	start := p.id(x, d.Start)
+	seen[start] = true
+	parent[start] = parentRec{prev: -1}
+	queue := []int{start}
+	for at := 0; at < len(queue); at++ {
+		id := queue[at]
+		v, q := id/p.m, id%p.m
+		if v == y && d.Accept[q] {
+			// Reconstruct.
+			var vs []int
+			var ls []byte
+			for cur := id; cur >= 0; cur = parent[cur].prev {
+				vs = append(vs, cur/p.m)
+				if parent[cur].prev >= 0 {
+					ls = append(ls, parent[cur].label)
+				}
+			}
+			reverseInts(vs)
+			reverseBytes(ls)
+			return &graph.Path{Vertices: vs, Labels: ls}
+		}
+		for _, e := range g.OutEdges(v) {
+			t, ok := d.StepOK(q, e.Label)
+			if !ok {
+				continue
+			}
+			nid := p.id(e.To, t)
+			if !seen[nid] {
+				seen[nid] = true
+				parent[nid] = parentRec{prev: id, label: e.Label}
+				queue = append(queue, nid)
+			}
+		}
+	}
+	return nil
+}
+
+// ExistsWalk reports the boolean RPQ answer.
+func ExistsWalk(g *graph.Graph, d *automaton.DFA, x, y int) bool {
+	return ShortestWalk(g, d, x, y) != nil
+}
+
+func reverseInts(xs []int) {
+	for l, r := 0, len(xs)-1; l < r; l, r = l+1, r-1 {
+		xs[l], xs[r] = xs[r], xs[l]
+	}
+}
+
+func reverseBytes(xs []byte) {
+	for l, r := 0, len(xs)-1; l < r; l, r = l+1, r-1 {
+		xs[l], xs[r] = xs[r], xs[l]
+	}
+}

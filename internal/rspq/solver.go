@@ -1,0 +1,174 @@
+package rspq
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/psitr"
+)
+
+// PsitrExpr aliases the fragment type so that callers of this package
+// do not need to import internal/psitr separately.
+type PsitrExpr = psitr.Expr
+
+// Algorithm identifies which evaluation strategy answered a query.
+type Algorithm int
+
+// Evaluation strategies.
+const (
+	AlgoAuto        Algorithm = iota // dispatcher decides
+	AlgoFinite                       // AC⁰ tier: finite-language search
+	AlgoSubword                      // Mendelzon–Wood trC(0) fast path
+	AlgoSummary                      // Ψtr summary solver (Lemmas 12–16)
+	AlgoDAG                          // acyclic input: RPQ walk is simple
+	AlgoBaseline                     // exact exponential backtracking
+	AlgoWalk                         // plain RPQ (arbitrary paths) — not RSPQ
+	AlgoNaive                        // unsound loop elimination (foil)
+	AlgoColorCoding                  // k-RSPQ FPT (Theorem 7)
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoFinite:
+		return "finite"
+	case AlgoSubword:
+		return "subword"
+	case AlgoSummary:
+		return "summary"
+	case AlgoDAG:
+		return "dag"
+	case AlgoBaseline:
+		return "baseline"
+	case AlgoWalk:
+		return "walk"
+	case AlgoNaive:
+		return "naive"
+	case AlgoColorCoding:
+		return "colorcoding"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Solver bundles a compiled language with its trichotomy classification
+// and (when available) its Ψtr normal form, and dispatches queries to
+// the best algorithm.
+type Solver struct {
+	Regex          *automaton.Regex
+	Min            *automaton.DFA // minimal complete DFA
+	Classification core.Classification
+	Expr           *psitr.Expr // nil when the regex has no recognized Ψtr form
+	SubwordClosed  bool
+}
+
+// NewSolver compiles a regex pattern into a ready-to-query solver.
+func NewSolver(pattern string) (*Solver, error) {
+	r, err := automaton.ParseRegex(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return NewSolverFromRegex(r)
+}
+
+// NewSolverFromRegex builds a solver from a parsed regular expression.
+func NewSolverFromRegex(r *automaton.Regex) (*Solver, error) {
+	min := automaton.CompileRegexToMinDFA(r, nil)
+	s := &Solver{
+		Regex:          r,
+		Min:            min,
+		Classification: core.Classify(min, core.EdgeLabeled, nil),
+		SubwordClosed:  SubwordClosed(min),
+	}
+	if e, err := psitr.FromRegex(r); err == nil {
+		s.Expr = e
+	}
+	return s, nil
+}
+
+// ChooseAlgorithm reports how Solve would answer a query on g.
+func (s *Solver) ChooseAlgorithm(g *graph.Graph) Algorithm {
+	switch {
+	case s.Classification.Finite:
+		return AlgoFinite
+	case g.IsAcyclic():
+		return AlgoDAG
+	case s.SubwordClosed:
+		return AlgoSubword
+	case s.Classification.Tractable && s.Expr != nil:
+		return AlgoSummary
+	default:
+		return AlgoBaseline
+	}
+}
+
+// Solve answers RSPQ(L): is there a simple L-labeled path from x to y
+// in g? The dispatcher follows the trichotomy: finite languages use the
+// AC⁰-tier search, subword-closed languages the Mendelzon–Wood walk
+// reduction, tractable (trC) languages with a Ψtr form the polynomial
+// summary solver, DAG inputs the RPQ collapse, everything else the
+// exact exponential baseline (the problem is NP-complete there, so
+// exponential worst-case time is expected).
+func (s *Solver) Solve(g *graph.Graph, x, y int) Result {
+	return s.SolveWith(g, x, y, AlgoAuto)
+}
+
+// SolveWith forces a specific algorithm; AlgoAuto dispatches.
+func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
+	if algo == AlgoAuto {
+		algo = s.ChooseAlgorithm(g)
+	}
+	switch algo {
+	case AlgoFinite:
+		return Finite(g, s.Min, x, y)
+	case AlgoSubword:
+		return Subword(g, s.Min, x, y)
+	case AlgoSummary:
+		if s.Expr == nil {
+			return Baseline(g, s.Min, x, y, nil)
+		}
+		return SolvePsitr(g, s.Expr, x, y, false)
+	case AlgoDAG:
+		res, ok := DAG(g, s.Min, x, y)
+		if !ok {
+			return Baseline(g, s.Min, x, y, nil)
+		}
+		return res
+	case AlgoBaseline:
+		return Baseline(g, s.Min, x, y, nil)
+	case AlgoWalk:
+		if p := ShortestWalk(g, s.Min, x, y); p != nil {
+			return Result{Found: true, Path: p}
+		}
+		return Result{}
+	case AlgoNaive:
+		return Naive(g, s.Min, x, y)
+	default:
+		return Baseline(g, s.Min, x, y, nil)
+	}
+}
+
+// Shortest returns a shortest simple L-labeled path from x to y, using
+// the best exact strategy available.
+func (s *Solver) Shortest(g *graph.Graph, x, y int) Result {
+	switch {
+	case s.Classification.Finite:
+		return Finite(g, s.Min, x, y) // tries words in increasing length
+	case g.IsAcyclic():
+		res, _ := DAG(g, s.Min, x, y)
+		return res
+	case s.SubwordClosed:
+		return Subword(g, s.Min, x, y)
+	case s.Classification.Tractable && s.Expr != nil:
+		return SolvePsitr(g, s.Expr, x, y, true)
+	default:
+		return BaselineShortest(g, s.Min, x, y, nil)
+	}
+}
+
+// SolveVlg answers the vertex-labeled variant on vg.
+func (s *Solver) SolveVlg(vg *graph.VGraph, x, y int) Result {
+	return VlgSolve(vg, s.Min, s.Expr, x, y)
+}

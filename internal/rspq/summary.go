@@ -1,0 +1,564 @@
+package rspq
+
+import (
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/psitr"
+)
+
+// This file implements the paper's tractable evaluation algorithm
+// (Section 3.2) in the Ψtr form suggested at the end of Section 3.5:
+// for a sequence w·ϕ1⋯ϕl·w', the summary of a path keeps every vertex
+// of the word terms and the k first and k last edges of each used
+// A^{≥k} term, replacing the middle by an A* gap.
+//
+// The solver enumerates candidate summaries ("skeletons") by a
+// depth-first search that follows actual graph edges, pruned by a
+// product co-reachability table; every complete skeleton is then
+// completed gap-by-gap in path order exactly per Definition 4:
+//
+//	P_i      = simple A_i*-paths from the gap entry that avoid all
+//	           skeleton vertices (except the gap's own endpoints) and
+//	           all earlier acc(j) balls;
+//	length_i = the BFS distance from entry to exit within P_i;
+//	acc(i)   = the radius-length_i BFS ball.
+//
+// A completed path is verified simple and L-labeled before being
+// accepted (Lemma 15's check), so the solver is unconditionally sound;
+// completeness is Lemma 14 adapted to Ψtr summaries — every shortest
+// simple L-labeled path is nice, i.e. decomposes into such a skeleton
+// with shortest gap completions — which the test-suite cross-validates
+// against the exponential baseline on randomized instances.
+
+// SolvePsitr answers RSPQ(L(e)) on g. With shortest=false it stops at
+// the first witness; with shortest=true it exhausts all candidate
+// summaries and returns a shortest simple L-labeled path (the minimum
+// over nice paths, which Lemma 14 makes globally minimal).
+func SolvePsitr(g *graph.Graph, e *psitr.Expr, x, y int, shortest bool) Result {
+	best := Result{}
+	for _, seq := range e.Seqs {
+		ss := newSeqSearcher(g, seq, x, y, shortest)
+		res := ss.run()
+		if !res.Found {
+			continue
+		}
+		if !shortest {
+			return res
+		}
+		if !best.Found || res.Path.Len() < best.Path.Len() {
+			best = res
+		}
+	}
+	return best
+}
+
+// unitKind enumerates skeleton plan units.
+type unitKind int
+
+const (
+	uWord    unitKind = iota // mandatory word (prefix/suffix)
+	uOptWord                 // (w + ε)
+	uGap                     // (A^{≥k} + ε)
+)
+
+// unit is one plan step with its position-NFA states for pruning.
+type unit struct {
+	kind unitKind
+	w    string
+	a    automaton.Alphabet
+	k    int
+	// wordStates[j] is the NFA state after j letters (word kinds).
+	wordStates []int
+	// chain[j] is the NFA state after j head letters of a gap
+	// (chain[0] = term entry); loop is the state reached once ≥ k
+	// letters are consumed.
+	chain []int
+	loop  int
+}
+
+// skelElem is one element of a candidate skeleton: either an explicit
+// edge or a gap marker.
+type skelElem struct {
+	isGap  bool
+	gapIdx int
+	label  byte
+	to     int
+}
+
+type gapRec struct {
+	a     automaton.Alphabet
+	entry int
+	exit  int
+}
+
+type seqSearcher struct {
+	g        *graph.Graph
+	x, y     int
+	shortest bool
+
+	units    []unit
+	startPos int
+	posCount int
+	coreach  []bool // (v*posCount + s)
+
+	used []bool
+	skel []skelElem
+	gaps []gapRec
+
+	found bool
+	done  bool // early exit flag (non-shortest mode)
+	best  *graph.Path
+
+	// scratch buffers for gap completion
+	dist    []int
+	parent  []int
+	accAll  []bool
+	inQueue []int
+}
+
+func newSeqSearcher(g *graph.Graph, seq *psitr.Sequence, x, y int, shortest bool) *seqSearcher {
+	ss := &seqSearcher{g: g, x: x, y: y, shortest: shortest}
+	ss.buildPlan(seq)
+	ss.used = make([]bool, g.NumVertices())
+	ss.dist = make([]int, g.NumVertices())
+	ss.parent = make([]int, g.NumVertices())
+	ss.accAll = make([]bool, g.NumVertices())
+	return ss
+}
+
+// buildPlan flattens the sequence into units and builds the position
+// NFA used for co-reachability pruning.
+func (ss *seqSearcher) buildPlan(seq *psitr.Sequence) {
+	alpha := automaton.NewAlphabet(append([]byte(seq.Prefix+seq.Suffix), seqLetters(seq)...)...)
+	n := automaton.NewNFA(1, alpha, 0)
+	cur := 0 // NFA state at the current plan position
+
+	addWord := func(w string, kind unitKind) {
+		u := unit{kind: kind, w: w, wordStates: []int{cur}}
+		entry := cur
+		for i := 0; i < len(w); i++ {
+			next := n.AddState()
+			n.AddEdge(cur, w[i], next)
+			u.wordStates = append(u.wordStates, next)
+			cur = next
+		}
+		if kind == uOptWord {
+			n.AddEps(entry, cur)
+		}
+		ss.units = append(ss.units, u)
+	}
+
+	if seq.Prefix != "" {
+		addWord(seq.Prefix, uWord)
+	}
+	for _, t := range seq.Terms {
+		switch t.Kind {
+		case psitr.OptWord:
+			addWord(t.W, uOptWord)
+		case psitr.Gap:
+			u := unit{kind: uGap, a: t.A, k: t.K}
+			entry := cur
+			u.chain = []int{entry}
+			for j := 0; j < t.K; j++ {
+				next := n.AddState()
+				for _, a := range t.A {
+					n.AddEdge(cur, a, next)
+				}
+				u.chain = append(u.chain, next)
+				cur = next
+			}
+			loop := cur
+			if t.K == 0 {
+				loop = n.AddState()
+				n.AddEps(entry, loop)
+			}
+			for _, a := range t.A {
+				n.AddEdge(loop, a, loop)
+			}
+			u.loop = loop
+			exit := n.AddState()
+			n.AddEps(entry, exit) // skip (ε)
+			n.AddEps(loop, exit)  // done
+			cur = exit
+			ss.units = append(ss.units, u)
+		}
+	}
+	if seq.Suffix != "" {
+		addWord(seq.Suffix, uWord)
+	}
+	n.Accept[cur] = true
+
+	ef := n.EpsFree()
+	ss.posCount = ef.NumStates
+	ss.startPos = ef.Start
+	ss.coreach = ss.computeCoReach(ef)
+}
+
+func seqLetters(seq *psitr.Sequence) []byte {
+	var out []byte
+	for _, t := range seq.Terms {
+		out = append(out, t.W...)
+		out = append(out, t.A...)
+	}
+	return out
+}
+
+// computeCoReach marks the (vertex, position) pairs from which the
+// remaining sequence can still be matched by some walk to y (ignoring
+// simplicity) — the pruning oracle.
+func (ss *seqSearcher) computeCoReach(ef *automaton.NFA) []bool {
+	nV := ss.g.NumVertices()
+	out := make([]bool, nV*ef.NumStates)
+	// Reverse NFA adjacency by label.
+	type rev struct {
+		from  int
+		label byte
+	}
+	rnfa := make([][]rev, ef.NumStates)
+	for q := 0; q < ef.NumStates; q++ {
+		for _, e := range ef.Edges[q] {
+			rnfa[e.To] = append(rnfa[e.To], rev{from: q, label: e.Label})
+		}
+	}
+	var queue []int
+	for s := 0; s < ef.NumStates; s++ {
+		if ef.Accept[s] {
+			id := ss.y*ef.NumStates + s
+			out[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for at := 0; at < len(queue); at++ {
+		id := queue[at]
+		v, s := id/ef.NumStates, id%ef.NumStates
+		for _, ge := range ss.g.InEdges(v) {
+			for _, re := range rnfa[s] {
+				if re.label != ge.Label {
+					continue
+				}
+				pid := ge.From*ef.NumStates + re.from
+				if !out[pid] {
+					out[pid] = true
+					queue = append(queue, pid)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (ss *seqSearcher) ok(v, pos int) bool {
+	return ss.coreach[v*ss.posCount+pos]
+}
+
+func (ss *seqSearcher) run() Result {
+	if !ss.ok(ss.x, ss.startPos) {
+		return Result{}
+	}
+	ss.used[ss.x] = true
+	ss.unitStart(0, ss.x)
+	if ss.found {
+		return Result{Found: true, Path: ss.best}
+	}
+	return Result{}
+}
+
+func (ss *seqSearcher) unitStart(ui, v int) {
+	if ss.done {
+		return
+	}
+	if ui == len(ss.units) {
+		if v == ss.y {
+			ss.complete()
+		}
+		return
+	}
+	u := &ss.units[ui]
+	switch u.kind {
+	case uWord:
+		ss.walkWord(ui, 0, v)
+	case uOptWord:
+		ss.unitStart(ui+1, v) // skip
+		ss.walkWord(ui, 0, v) // take
+	case uGap:
+		ss.unitStart(ui+1, v) // ε
+		// Fully explicit: m ∈ [max(k,1), 2k-1] edges.
+		lo := u.k
+		if lo == 0 {
+			lo = 1
+		}
+		for m := lo; m <= 2*u.k-1; m++ {
+			ss.walkGapExplicit(ui, m, 0, v)
+		}
+		// Head (k edges) + gap + tail (k edges): m ≥ 2k.
+		ss.walkGapHead(ui, 0, v)
+	}
+}
+
+func (ss *seqSearcher) walkWord(ui, j, v int) {
+	if ss.done {
+		return
+	}
+	u := &ss.units[ui]
+	if j == len(u.w) {
+		ss.unitStart(ui+1, v)
+		return
+	}
+	for _, e := range ss.g.OutEdges(v) {
+		if e.Label != u.w[j] || ss.used[e.To] || !ss.ok(e.To, u.wordStates[j+1]) {
+			continue
+		}
+		ss.push(e)
+		ss.walkWord(ui, j+1, e.To)
+		ss.pop(e)
+		if ss.done {
+			return
+		}
+	}
+}
+
+// walkGapExplicit consumes exactly `remaining` more A-edges with no gap
+// marker.
+func (ss *seqSearcher) walkGapExplicit(ui, remaining, consumed, v int) {
+	if ss.done {
+		return
+	}
+	u := &ss.units[ui]
+	if remaining == 0 {
+		ss.unitStart(ui+1, v)
+		return
+	}
+	for _, e := range ss.g.OutEdges(v) {
+		if !u.a.Contains(e.Label) || ss.used[e.To] {
+			continue
+		}
+		next := consumed + 1
+		if !ss.ok(e.To, ss.gapPos(u, next)) {
+			continue
+		}
+		ss.push(e)
+		ss.walkGapExplicit(ui, remaining-1, next, e.To)
+		ss.pop(e)
+		if ss.done {
+			return
+		}
+	}
+}
+
+func (ss *seqSearcher) gapPos(u *unit, consumed int) int {
+	if consumed >= u.k {
+		return u.loop
+	}
+	return u.chain[consumed]
+}
+
+// walkGapHead consumes the first k explicit edges, then chooses the gap
+// exit.
+func (ss *seqSearcher) walkGapHead(ui, j, v int) {
+	if ss.done {
+		return
+	}
+	u := &ss.units[ui]
+	if j == u.k {
+		ss.chooseGapExit(ui, v)
+		return
+	}
+	for _, e := range ss.g.OutEdges(v) {
+		if !u.a.Contains(e.Label) || ss.used[e.To] || !ss.ok(e.To, u.chain[j+1]) {
+			continue
+		}
+		ss.push(e)
+		ss.walkGapHead(ui, j+1, e.To)
+		ss.pop(e)
+		if ss.done {
+			return
+		}
+	}
+}
+
+// chooseGapExit enumerates candidate gap exits among vertices reachable
+// from the entry through A-edges (unrestricted — the completion phase
+// applies the real P_i restrictions), nearest first.
+func (ss *seqSearcher) chooseGapExit(ui, entry int) {
+	u := &ss.units[ui]
+	order := ss.aReach(u.a, entry)
+	for _, exit := range order {
+		if ss.done {
+			return
+		}
+		if exit != entry && ss.used[exit] {
+			continue
+		}
+		if !ss.ok(exit, u.loop) {
+			continue
+		}
+		gi := len(ss.gaps)
+		ss.gaps = append(ss.gaps, gapRec{a: u.a, entry: entry, exit: exit})
+		ss.skel = append(ss.skel, skelElem{isGap: true, gapIdx: gi})
+		if exit != entry {
+			ss.used[exit] = true
+		}
+		ss.walkGapTail(ui, 0, exit)
+		if exit != entry {
+			ss.used[exit] = false
+		}
+		ss.skel = ss.skel[:len(ss.skel)-1]
+		ss.gaps = ss.gaps[:gi]
+	}
+}
+
+func (ss *seqSearcher) walkGapTail(ui, j, v int) {
+	if ss.done {
+		return
+	}
+	u := &ss.units[ui]
+	if j == u.k {
+		ss.unitStart(ui+1, v)
+		return
+	}
+	for _, e := range ss.g.OutEdges(v) {
+		if !u.a.Contains(e.Label) || ss.used[e.To] || !ss.ok(e.To, u.loop) {
+			continue
+		}
+		ss.push(e)
+		ss.walkGapTail(ui, j+1, e.To)
+		ss.pop(e)
+		if ss.done {
+			return
+		}
+	}
+}
+
+func (ss *seqSearcher) push(e graph.Edge) {
+	ss.used[e.To] = true
+	ss.skel = append(ss.skel, skelElem{label: e.Label, to: e.To})
+}
+
+func (ss *seqSearcher) pop(e graph.Edge) {
+	ss.used[e.To] = false
+	ss.skel = ss.skel[:len(ss.skel)-1]
+}
+
+// aReach lists the vertices reachable from v through edges labeled in
+// a, in BFS order (v first).
+func (ss *seqSearcher) aReach(a automaton.Alphabet, v int) []int {
+	seen := make([]bool, ss.g.NumVertices())
+	seen[v] = true
+	order := []int{v}
+	for at := 0; at < len(order); at++ {
+		for _, e := range ss.g.OutEdges(order[at]) {
+			if a.Contains(e.Label) && !seen[e.To] {
+				seen[e.To] = true
+				order = append(order, e.To)
+			}
+		}
+	}
+	return order
+}
+
+// complete attempts to complete the current skeleton into a nice path,
+// per Definition 4: gaps are filled in path order with shortest
+// restricted paths; acc balls accumulate and later gaps must avoid
+// them.
+func (ss *seqSearcher) complete() {
+	n := ss.g.NumVertices()
+	for i := range ss.accAll {
+		ss.accAll[i] = false
+	}
+	gapPaths := make([]*graph.Path, len(ss.gaps))
+	for gi, gp := range ss.gaps {
+		if ss.accAll[gp.entry] || ss.accAll[gp.exit] {
+			return
+		}
+		// Restricted BFS from entry over gp.a-edges avoiding skeleton
+		// vertices (except entry, exit) and earlier acc balls.
+		for i := 0; i < n; i++ {
+			ss.dist[i] = -1
+		}
+		ss.dist[gp.entry] = 0
+		ss.parent[gp.entry] = -1
+		ss.inQueue = ss.inQueue[:0]
+		ss.inQueue = append(ss.inQueue, gp.entry)
+		for at := 0; at < len(ss.inQueue); at++ {
+			v := ss.inQueue[at]
+			for _, e := range ss.g.OutEdges(v) {
+				t := e.To
+				if !gp.a.Contains(e.Label) || ss.dist[t] >= 0 {
+					continue
+				}
+				if ss.accAll[t] {
+					continue
+				}
+				if (ss.used[t] || t == ss.x) && t != gp.exit && t != gp.entry {
+					continue
+				}
+				ss.dist[t] = ss.dist[v] + 1
+				ss.parent[t] = v
+				ss.inQueue = append(ss.inQueue, t)
+			}
+		}
+		target := ss.dist[gp.exit]
+		if target < 0 {
+			return
+		}
+		// acc(i): the ball of radius length_i.
+		for _, v := range ss.inQueue {
+			if ss.dist[v] <= target {
+				ss.accAll[v] = true
+			}
+		}
+		// Reconstruct the gap path (labels recovered per step).
+		var vs []int
+		for v := gp.exit; v >= 0; v = ss.parent[v] {
+			vs = append(vs, v)
+			if v == gp.entry {
+				break
+			}
+		}
+		reverseInts(vs)
+		ls := make([]byte, 0, len(vs)-1)
+		for i := 0; i+1 < len(vs); i++ {
+			lbl, ok := gapEdgeLabel(ss.g, vs[i], vs[i+1], gp.a)
+			if !ok {
+				return
+			}
+			ls = append(ls, lbl)
+		}
+		gapPaths[gi] = &graph.Path{Vertices: vs, Labels: ls}
+	}
+
+	// Assemble the full path.
+	full := graph.PathAt(ss.x)
+	for _, el := range ss.skel {
+		if el.isGap {
+			joined, err := full.Concat(gapPaths[el.gapIdx])
+			if err != nil {
+				return
+			}
+			full = joined
+		} else {
+			full = full.Append(el.label, el.to)
+		}
+	}
+	// Lemma 15's final check: the completion must be a simple path (it
+	// is by construction; verify defensively).
+	if !full.IsSimple() || full.Source() != ss.x || full.Target() != ss.y {
+		return
+	}
+	if !ss.found || full.Len() < ss.best.Len() {
+		ss.found = true
+		ss.best = full
+	}
+	if !ss.shortest {
+		ss.done = true
+	}
+}
+
+func gapEdgeLabel(g *graph.Graph, from, to int, a automaton.Alphabet) (byte, bool) {
+	for _, e := range g.OutEdges(from) {
+		if e.To == to && a.Contains(e.Label) {
+			return e.Label, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,188 @@
+// Package trichotomy is the public API of the RSPQ trichotomy library,
+// a complete implementation of Bagan, Bonifati & Groz, "A Trichotomy
+// for Regular Simple Path Queries on Graphs" (PODS 2013).
+//
+// A regular simple path query RSPQ(L) asks, given an edge-labeled
+// directed graph and two vertices, whether a *simple* path (no repeated
+// vertices) connects them whose edge labels spell a word of the regular
+// language L. The paper classifies every regular language into three
+// data-complexity tiers — AC⁰ (finite languages), NL-complete (the
+// fragment trC) and NP-complete (everything else) — and gives a
+// polynomial evaluation algorithm for trC. This package exposes:
+//
+//   - Compile: regex → classified, query-ready Language;
+//   - Language.Solve / Shortest / SolveVlg: query evaluation dispatched
+//     to the correct algorithm of the trichotomy;
+//   - Language.Classification: the AC⁰ / NL / NP verdict with a
+//     verified hardness witness on the NP side;
+//   - graph construction, generators and serialization re-exported from
+//     the internal packages.
+//
+// Quick start:
+//
+//	g := trichotomy.NewGraph(4)
+//	g.AddEdge(0, 'a', 1)
+//	g.AddEdge(1, 'b', 2)
+//	g.AddEdge(2, 'b', 3)
+//	lang, _ := trichotomy.Compile("a*(bb+|())c*")
+//	res := lang.Solve(g, 0, 3)   // Found=true, Path spelling "abb"
+package trichotomy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+// Graph is an edge-labeled directed graph (db-graph).
+type Graph = graph.Graph
+
+// VGraph is a vertex-labeled graph.
+type VGraph = graph.VGraph
+
+// EVGraph is a vertex-and-edge-labeled graph.
+type EVGraph = graph.EVGraph
+
+// Path is a walk through a Graph.
+type Path = graph.Path
+
+// Result is a query outcome: Found plus a witness Path.
+type Result = rspq.Result
+
+// Class is a complexity tier of the trichotomy.
+type Class = core.Class
+
+// The three tiers of Theorem 2.
+const (
+	AC0        = core.AC0
+	NLComplete = core.NLComplete
+	NPComplete = core.NPComplete
+)
+
+// NewGraph returns a Graph with n isolated vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewVGraph returns a vertex-labeled graph with the given labels.
+func NewVGraph(labels []byte) *VGraph { return graph.NewVGraph(labels) }
+
+// Language is a compiled, classified regular language ready for
+// querying.
+type Language struct {
+	pattern string
+	solver  *rspq.Solver
+}
+
+// Compile parses the regex pattern (union '|', postfix '*' '+' '?',
+// classes '[abc]', bounds '{n,m}', ε as "()"), builds its minimal DFA,
+// classifies it per the trichotomy, and prepares the evaluation
+// strategy.
+func Compile(pattern string) (*Language, error) {
+	s, err := rspq.NewSolver(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &Language{pattern: pattern, solver: s}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(pattern string) *Language {
+	l, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Pattern returns the source pattern.
+func (l *Language) Pattern() string { return l.pattern }
+
+// Class returns the data-complexity tier of RSPQ(L) on edge-labeled
+// graphs (Theorem 2).
+func (l *Language) Class() Class { return l.solver.Classification.Class }
+
+// InTrC reports membership in the tractable fragment.
+func (l *Language) InTrC() bool { return l.solver.Classification.Tractable }
+
+// IsFinite reports whether the language is finite (the AC⁰ tier).
+func (l *Language) IsFinite() bool { return l.solver.Classification.Finite }
+
+// MinimalDFASize returns M = |Q_L|, the size of the minimal complete
+// DFA.
+func (l *Language) MinimalDFASize() int { return l.solver.Classification.M }
+
+// PsitrForm returns the Ψtr normal form of the language (Theorem 4)
+// when the compiler recognized one, or "" otherwise.
+func (l *Language) PsitrForm() string {
+	if l.solver.Expr == nil {
+		return ""
+	}
+	return l.solver.Expr.String()
+}
+
+// HardnessWitness renders the verified Property-(1) witness words that
+// drive the NP-hardness reduction, or "" for tractable languages.
+func (l *Language) HardnessWitness() string {
+	w := l.solver.Classification.Witness
+	if w == nil {
+		return ""
+	}
+	return w.String()
+}
+
+// Member reports whether the word belongs to the language.
+func (l *Language) Member(word string) bool { return l.solver.Min.Member(word) }
+
+// Solve answers RSPQ(L): is there a simple L-labeled path from x to y?
+// The evaluation strategy follows the trichotomy (finite search,
+// subword-closed walk reduction, Ψtr summary algorithm, or exact
+// exponential backtracking on the NP side).
+func (l *Language) Solve(g *Graph, x, y int) Result { return l.solver.Solve(g, x, y) }
+
+// Shortest returns a shortest simple L-labeled path from x to y.
+func (l *Language) Shortest(g *Graph, x, y int) Result { return l.solver.Shortest(g, x, y) }
+
+// SolveWalk answers the classical RPQ (arbitrary walks may repeat
+// vertices); for comparison with simple-path semantics.
+func (l *Language) SolveWalk(g *Graph, x, y int) Result {
+	return l.solver.SolveWith(g, x, y, rspq.AlgoWalk)
+}
+
+// SolveVlg answers the vertex-labeled variant (Section 4.1), where the
+// word of a path is the sequence of labels of the vertices it enters.
+func (l *Language) SolveVlg(vg *VGraph, x, y int) Result { return l.solver.SolveVlg(vg, x, y) }
+
+// SolveBounded answers k-RSPQ — a simple L-labeled path with at most k
+// edges — via the color-coding FPT algorithm of Theorem 7. seed drives
+// the random colorings; NO answers are one-sided Monte Carlo with
+// failure probability below 1%.
+func (l *Language) SolveBounded(g *Graph, x, y, k int, seed int64) Result {
+	return rspq.ColorCoding(g, l.solver.Min, x, y, k, rspq.ColorCodingOptions{Seed: seed})
+}
+
+// AlgorithmFor reports which algorithm Solve would use on g.
+func (l *Language) AlgorithmFor(g *Graph) string {
+	return l.solver.ChooseAlgorithm(g).String()
+}
+
+// Describe returns a one-paragraph human-readable summary of the
+// classification.
+func (l *Language) Describe() string {
+	c := l.solver.Classification
+	s := fmt.Sprintf("RSPQ(%s) is %v on edge-labeled graphs (minimal DFA: %d states)", l.pattern, c.Class, c.M)
+	if form := l.PsitrForm(); form != "" {
+		s += fmt.Sprintf("; Ψtr form: %s", form)
+	}
+	if w := l.HardnessWitness(); w != "" {
+		s += fmt.Sprintf("; hardness witness: %s", w)
+	}
+	return s
+}
+
+// ClassifyVlg returns the tier on vertex-labeled graphs (Theorem 5),
+// which can be lower than Class(): e.g. (ab)* drops from NP-complete
+// to NL-complete.
+func (l *Language) ClassifyVlg() Class {
+	return core.Classify(l.solver.Min, core.VertexLabeled, nil).Class
+}

@@ -1,0 +1,135 @@
+package trichotomy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileAndClassify(t *testing.T) {
+	cases := []struct {
+		pattern string
+		class   Class
+		inTrC   bool
+		finite  bool
+	}{
+		{"a*(bb+|())c*", NLComplete, true, false},
+		{"(aa)*", NPComplete, false, false},
+		{"ab|ba", AC0, true, true},
+		{"a*ba*", NPComplete, false, false},
+		{"a*c*", NLComplete, true, false},
+	}
+	for _, c := range cases {
+		l, err := Compile(c.pattern)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.pattern, err)
+		}
+		if l.Class() != c.class || l.InTrC() != c.inTrC || l.IsFinite() != c.finite {
+			t.Errorf("%q: class=%v trC=%v finite=%v, want %v/%v/%v",
+				c.pattern, l.Class(), l.InTrC(), l.IsFinite(), c.class, c.inTrC, c.finite)
+		}
+	}
+	if _, err := Compile("(unbalanced"); err == nil {
+		t.Error("bad pattern must error")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 3)
+	lang := MustCompile("a*(bb+|())c*")
+	res := lang.Solve(g, 0, 3)
+	if !res.Found || res.Path.Word() != "abb" {
+		t.Fatalf("quickstart: %v", res)
+	}
+	sh := lang.Shortest(g, 0, 3)
+	if !sh.Found || sh.Path.Len() != 3 {
+		t.Fatalf("shortest: %v", sh)
+	}
+	if !lang.Member("abb") || lang.Member("ab") {
+		t.Error("Member wrong")
+	}
+}
+
+func TestWalkVsSimpleSemantics(t *testing.T) {
+	// 0 -a-> 1 -b-> 0 cycle: (abab) walk exists from 0 back to 0, but
+	// no simple path does.
+	g := NewGraph(2)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 0)
+	lang := MustCompile("abab")
+	if !lang.SolveWalk(g, 0, 0).Found {
+		t.Error("walk semantics should find abab")
+	}
+	if lang.Solve(g, 0, 0).Found {
+		t.Error("simple-path semantics must reject abab on a 2-cycle")
+	}
+}
+
+func TestVlgFacade(t *testing.T) {
+	vg := NewVGraph([]byte{'x', 'a', 'b'})
+	vg.AddEdge(0, 1)
+	vg.AddEdge(1, 2)
+	lang := MustCompile("(ab)*")
+	if lang.Class() != NPComplete {
+		t.Error("(ab)* should be NP-complete on edge-labeled graphs")
+	}
+	if lang.ClassifyVlg() != NLComplete {
+		t.Error("(ab)* should be NL-complete on vertex-labeled graphs")
+	}
+	res := lang.SolveVlg(vg, 0, 2)
+	if !res.Found || res.Path.Word() != "ab" {
+		t.Fatalf("vlg solve: %v", res)
+	}
+}
+
+func TestBoundedFacade(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'a', 3)
+	lang := MustCompile("a*ba*")
+	if !lang.SolveBounded(g, 0, 3, 3, 1).Found {
+		t.Error("k=3 should find the aba path")
+	}
+	if lang.SolveBounded(g, 0, 3, 2, 1).Found {
+		t.Error("k=2 is too short")
+	}
+}
+
+func TestDescribeAndWitness(t *testing.T) {
+	hard := MustCompile("(aa)*")
+	if hard.HardnessWitness() == "" {
+		t.Error("NP-complete language must carry a witness")
+	}
+	if !strings.Contains(hard.Describe(), "NP-complete") {
+		t.Errorf("Describe: %s", hard.Describe())
+	}
+	easy := MustCompile("a*(bb+|())c*")
+	if easy.HardnessWitness() != "" {
+		t.Error("tractable language has no witness")
+	}
+	if easy.PsitrForm() == "" {
+		t.Error("Example 1 language must expose a Ψtr form")
+	}
+	if !strings.Contains(easy.Describe(), "Ψtr") {
+		t.Errorf("Describe: %s", easy.Describe())
+	}
+	if easy.MinimalDFASize() == 0 || easy.Pattern() == "" {
+		t.Error("metadata missing")
+	}
+}
+
+func TestAlgorithmFor(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'a', 2)
+	g.AddEdge(2, 'a', 0)
+	if algo := MustCompile("a*(bb+|())c*").AlgorithmFor(g); algo != "summary" {
+		t.Errorf("expected summary, got %s", algo)
+	}
+	if algo := MustCompile("(aa)*").AlgorithmFor(g); algo != "baseline" {
+		t.Errorf("expected baseline, got %s", algo)
+	}
+}
