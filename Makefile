@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build vet test bench bench-smoke bench-json
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=100x .
+
+bench-json:
+	$(GO) run ./cmd/rspqbench -benchjson auto

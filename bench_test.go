@@ -18,8 +18,54 @@ import (
 	"repro/internal/rspq"
 )
 
+// BenchmarkShortestWalk measures the product-BFS RPQ search (the
+// engine under every walk-based solver) on warm frozen graphs. The
+// witness path is the only allocation per found query.
+func BenchmarkShortestWalk(b *testing.B) {
+	b.ReportAllocs()
+	d, err := automaton.MinDFAFromPattern("a*b(a|b|c)*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100, 400, 1600} {
+		g := graph.RandomRegular(n, []byte{'a', 'b', 'c'}, 3, int64(n))
+		g.Freeze()
+		d.Rev()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < b.N; i++ {
+				rspq.ShortestWalk(g, d, rng.Intn(n), rng.Intn(n))
+			}
+		})
+	}
+}
+
+// BenchmarkExistsWalk is the boolean variant: no witness, so warm
+// queries must be allocation-free.
+func BenchmarkExistsWalk(b *testing.B) {
+	b.ReportAllocs()
+	d, err := automaton.MinDFAFromPattern("a*b(a|b|c)*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100, 400, 1600} {
+		g := graph.RandomRegular(n, []byte{'a', 'b', 'c'}, 3, int64(n))
+		g.Freeze()
+		d.Rev()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < b.N; i++ {
+				rspq.ExistsWalk(g, d, rng.Intn(n), rng.Intn(n))
+			}
+		})
+	}
+}
+
 // BenchmarkE1Classify classifies the full paper corpus (Theorem 2 + 5).
 func BenchmarkE1Classify(b *testing.B) {
+	b.ReportAllocs()
 	entries := catalog.All()
 	dfas := make([]*automaton.DFA, len(entries))
 	for i, e := range entries {
@@ -41,6 +87,7 @@ func BenchmarkE1Classify(b *testing.B) {
 // BenchmarkE2TractableScaling runs the summary solver on growing random
 // graphs for the Example 1 language.
 func BenchmarkE2TractableScaling(b *testing.B) {
+	b.ReportAllocs()
 	s, err := rspq.NewSolver("a*(bb+|())c*")
 	if err != nil {
 		b.Fatal(err)
@@ -48,6 +95,7 @@ func BenchmarkE2TractableScaling(b *testing.B) {
 	for _, n := range []int{100, 400, 1600} {
 		g := graph.RandomRegular(n, []byte{'a', 'b', 'c'}, 3, int64(n))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(1))
 			for i := 0; i < b.N; i++ {
 				rspq.SolvePsitr(g, s.Expr, rng.Intn(n), rng.Intn(n), false)
@@ -59,6 +107,7 @@ func BenchmarkE2TractableScaling(b *testing.B) {
 // BenchmarkE3Reduction measures baseline search work on Lemma 5
 // instances (the NP side).
 func BenchmarkE3Reduction(b *testing.B) {
+	b.ReportAllocs()
 	d, err := automaton.MinDFAFromPattern("a*b(cc)*d")
 	if err != nil {
 		b.Fatal(err)
@@ -75,6 +124,7 @@ func BenchmarkE3Reduction(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("vdp=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rspq.Baseline(inst.G, min, inst.X, inst.Y, nil)
 			}
@@ -84,6 +134,7 @@ func BenchmarkE3Reduction(b *testing.B) {
 
 // BenchmarkE4SummaryWalkthrough solves the Example 2 instance.
 func BenchmarkE4SummaryWalkthrough(b *testing.B) {
+	b.ReportAllocs()
 	s, err := rspq.NewSolver("a(c{2,}|())(a|b)*(ac)?a*")
 	if err != nil {
 		b.Fatal(err)
@@ -99,20 +150,24 @@ func BenchmarkE4SummaryWalkthrough(b *testing.B) {
 
 // BenchmarkE5Naive runs the three algorithms on the Figure 4 family.
 func BenchmarkE5Naive(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := automaton.MinDFAFromPattern("a*(bb+|())c*")
 	s, _ := rspq.NewSolver("a*(bb+|())c*")
 	f := graph.NewFigure4(8)
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rspq.Naive(f.G, d, f.X0, f.Y2k)
 		}
 	})
 	b.Run("summary", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rspq.SolvePsitr(f.G, s.Expr, f.X0, f.Y2k, false)
 		}
 	})
 	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rspq.Baseline(f.G, d, f.X0, f.Y2k, nil)
 		}
@@ -122,9 +177,11 @@ func BenchmarkE5Naive(b *testing.B) {
 // BenchmarkE6Vlg compares (ab)* on vertex-labeled graphs (polynomial)
 // with the edge-labeled baseline.
 func BenchmarkE6Vlg(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := rspq.NewSolver("(ab)*")
 	vg := graph.RandomVGraph(300, []byte{'a', 'b'}, 0.02, 5)
 	b.Run("vlg-walk", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := rand.New(rand.NewSource(2))
 		for i := 0; i < b.N; i++ {
 			rspq.VlgSolve(vg, s.Min, s.Expr, rng.Intn(300), rng.Intn(300))
@@ -132,6 +189,7 @@ func BenchmarkE6Vlg(b *testing.B) {
 	})
 	ge := graph.Random(40, []byte{'a', 'b'}, 0.12, 6)
 	b.Run("edge-baseline", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rspq.Baseline(ge, s.Min, 0, 39, nil)
 		}
@@ -140,14 +198,17 @@ func BenchmarkE6Vlg(b *testing.B) {
 
 // BenchmarkE7Recognition measures trC testing for DFA vs NFA input.
 func BenchmarkE7Recognition(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := automaton.MinDFAFromPattern("a{1,16}b*")
 	b.Run("dfa", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.TrCFromDFA(d)
 		}
 	})
 	r := automaton.MustParseRegex("(a|b)*a(a|b){4}")
 	b.Run("nfa-blowup", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.TrCFromRegex(r)
 		}
@@ -156,10 +217,12 @@ func BenchmarkE7Recognition(b *testing.B) {
 
 // BenchmarkE8ColorCoding measures the 2^{O(k)} growth of Theorem 7.
 func BenchmarkE8ColorCoding(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := automaton.MinDFAFromPattern("a*ba*")
 	g := graph.RandomRegular(60, []byte{'a', 'b'}, 3, 17)
 	for _, k := range []int{3, 6, 9} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rspq.ColorCoding(g, d, 0, 59, k, rspq.ColorCodingOptions{Seed: 9, Trials: 50})
 			}
@@ -169,10 +232,12 @@ func BenchmarkE8ColorCoding(b *testing.B) {
 
 // BenchmarkE9DAG measures polynomial combined complexity on DAGs.
 func BenchmarkE9DAG(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := automaton.MinDFAFromPattern("(a|b)*a(a|b)a(a|b)*")
 	for _, shape := range [][2]int{{10, 10}, {20, 20}} {
 		dag := graph.LayeredDAG(shape[0], shape[1], 3, []byte{'a', 'b'}, 5)
 		b.Run(fmt.Sprintf("%dx%d", shape[0], shape[1]), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rspq.DAG(dag, d, 0, dag.NumVertices()-1)
 			}
@@ -182,6 +247,7 @@ func BenchmarkE9DAG(b *testing.B) {
 
 // BenchmarkE10Reachability runs the Lemma 17 reduction pipeline.
 func BenchmarkE10Reachability(b *testing.B) {
+	b.ReportAllocs()
 	d, _ := automaton.MinDFAFromPattern("a*(bb+|())c*")
 	min := d.Minimize()
 	g := graph.Random(30, []byte{'z'}, 0.08, 3)
@@ -197,6 +263,7 @@ func BenchmarkE10Reachability(b *testing.B) {
 
 // BenchmarkE11Psitr measures normalization + verification round trips.
 func BenchmarkE11Psitr(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(8))
 	exprs := make([]*psitr.Expr, 32)
 	for i := range exprs {
@@ -214,15 +281,18 @@ func BenchmarkE11Psitr(b *testing.B) {
 // BenchmarkE12Subword compares the trC(0) fast path with the general
 // summary solver on a*c*.
 func BenchmarkE12Subword(b *testing.B) {
+	b.ReportAllocs()
 	s, _ := rspq.NewSolver("a*c*")
 	g := graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 12)
 	b.Run("subword-walk", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := rand.New(rand.NewSource(4))
 		for i := 0; i < b.N; i++ {
 			rspq.Subword(g, s.Min, rng.Intn(400), rng.Intn(400))
 		}
 	})
 	b.Run("summary", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := rand.New(rand.NewSource(4))
 		for i := 0; i < b.N; i++ {
 			rspq.SolvePsitr(g, s.Expr, rng.Intn(400), rng.Intn(400), false)
@@ -233,6 +303,7 @@ func BenchmarkE12Subword(b *testing.B) {
 // BenchmarkCompile measures end-to-end language compilation (parse,
 // determinize, minimize, classify, extract witness, normalize).
 func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compile("a*(bb+|())c*"); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+// This file implements the machine-readable benchmark mode:
+//
+//	rspqbench -benchjson auto        # writes BENCH_<git rev>.json
+//	rspqbench -benchjson out.json    # explicit path
+//
+// Each workload is run through testing.Benchmark so the numbers are
+// directly comparable with `go test -bench`; the JSON gives future
+// revisions a perf trajectory (ns/op, allocs/op, B/op per workload).
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchReport struct {
+	Rev       string        `json:"rev"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Workloads []benchRecord `json:"workloads"`
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// benchWorkloads is the fixed suite snapshotted into the JSON: the
+// product-search hot paths plus one workload per solver tier.
+func benchWorkloads() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	mustDFA := func(pattern string) *automaton.DFA {
+		d, err := automaton.MinDFAFromPattern(pattern)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	walkDFA := mustDFA("a*b(a|b|c)*")
+	walkG := graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 400)
+	walkG.Freeze()
+	walkDFA.Rev()
+
+	summary := mustSolver("a*(bb+|())c*")
+	summaryG := graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 400)
+	summary.Warm(summaryG)
+
+	subword := mustSolver("a*c*")
+	subwordG := graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 12)
+	subword.Warm(subwordG)
+
+	finite := mustSolver("ab|ba|aab")
+	finiteG := graph.Random(200, []byte{'a', 'b'}, 0.03, 7)
+	finite.Warm(finiteG)
+
+	hard := mustSolver("a*(bb+|())c*")
+	fig4 := graph.NewFigure4(8)
+	hard.Warm(fig4.G)
+
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"shortest-walk/n=400", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < b.N; i++ {
+				rspq.ShortestWalk(walkG, walkDFA, rng.Intn(400), rng.Intn(400))
+			}
+		}},
+		{"exists-walk/n=400", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < b.N; i++ {
+				rspq.ExistsWalk(walkG, walkDFA, rng.Intn(400), rng.Intn(400))
+			}
+		}},
+		{"summary/n=400", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				rspq.SolvePsitr(summaryG, summary.Expr, rng.Intn(400), rng.Intn(400), false)
+			}
+		}},
+		{"summary-figure4/k=8", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rspq.SolvePsitr(fig4.G, hard.Expr, fig4.X0, fig4.Y2k, false)
+			}
+		}},
+		{"baseline-figure4/k=8", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rspq.Baseline(fig4.G, hard.Min, fig4.X0, fig4.Y2k, nil)
+			}
+		}},
+		{"subword-walk/n=400", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < b.N; i++ {
+				rspq.Subword(subwordG, subword.Min, rng.Intn(400), rng.Intn(400))
+			}
+		}},
+		{"finite/n=200", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < b.N; i++ {
+				finite.Solve(finiteG, rng.Intn(200), rng.Intn(200))
+			}
+		}},
+	}
+}
+
+func runBenchJSON(path string) error {
+	rev := gitRev()
+	if path == "auto" {
+		path = fmt.Sprintf("BENCH_%s.json", rev)
+	}
+	report := benchReport{
+		Rev:       rev,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, w := range benchWorkloads() {
+		r := testing.Benchmark(w.fn)
+		rec := benchRecord{
+			Name:        w.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		report.Workloads = append(report.Workloads, rec)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	rspqbench            # run every experiment
-//	rspqbench -exp e5    # run one experiment
+//	rspqbench                  # run every experiment
+//	rspqbench -exp e5          # run one experiment
+//	rspqbench -benchjson auto  # write BENCH_<rev>.json (ns/op, allocs/op
+//	                           # per workload) for the perf trajectory
 package main
 
 import (
@@ -28,7 +30,16 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
+	benchjson := flag.String("benchjson", "", `write machine-readable benchmark JSON to this path ("auto" = BENCH_<rev>.json)`)
 	flag.Parse()
+
+	if *benchjson != "" {
+		if err := runBenchJSON(*benchjson); err != nil {
+			fmt.Fprintf(os.Stderr, "rspqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id   string

@@ -14,6 +14,11 @@ type DFA struct {
 	Start     int
 	Accept    []bool
 	Delta     []int
+
+	// rev caches the reverse-transition index (see Rev); it depends only
+	// on Delta and Alphabet, so shallow copies (WithStart, Complement)
+	// may share it, and SetDelta drops it.
+	rev *RevIndex
 }
 
 // NewDFA returns a complete DFA skeleton with n states whose transitions
@@ -56,6 +61,7 @@ func (d *DFA) SetDelta(q int, label byte, to int) {
 	if i < 0 {
 		panic(fmt.Sprintf("automaton: label %q outside alphabet %s", label, d.Alphabet))
 	}
+	d.rev = nil
 	d.Delta[q*len(d.Alphabet)+i] = to
 }
 

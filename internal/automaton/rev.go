@@ -1,0 +1,71 @@
+package automaton
+
+// RevIndex is a precomputed reverse-transition index of a complete DFA:
+// for every state q and alphabet position i it lists the predecessor
+// states q' with ∆(q', Alphabet[i]) = q as a contiguous slice. The
+// product searches of the query engine use it to replace the
+// O(NumStates) "scan all states per in-edge" inner loop with an exact
+// predecessor enumeration.
+//
+// The index is immutable once built and safe for concurrent readers.
+type RevIndex struct {
+	labels int
+	start  []int32 // len NumStates*labels+1, CSR offsets into pred
+	pred   []int32 // predecessor states grouped by (state, label)
+}
+
+// NewRevIndex builds the reverse-transition index of d in
+// O(NumStates·|Alphabet|).
+func NewRevIndex(d *DFA) *RevIndex {
+	L := len(d.Alphabet)
+	r := &RevIndex{labels: L}
+	r.start = make([]int32, d.NumStates*L+1)
+	for q := 0; q < d.NumStates; q++ {
+		for i := 0; i < L; i++ {
+			t := d.Delta[q*L+i]
+			r.start[t*L+i+1]++
+		}
+	}
+	for i := 1; i < len(r.start); i++ {
+		r.start[i] += r.start[i-1]
+	}
+	r.pred = make([]int32, d.NumStates*L)
+	next := append([]int32(nil), r.start[:len(r.start)-1]...)
+	for q := 0; q < d.NumStates; q++ {
+		for i := 0; i < L; i++ {
+			t := d.Delta[q*L+i]
+			r.pred[next[t*L+i]] = int32(q)
+			next[t*L+i]++
+		}
+	}
+	return r
+}
+
+// Pred returns the states q' with ∆(q', Alphabet[labelIdx]) = q. The
+// returned slice aliases internal storage and must not be modified.
+func (r *RevIndex) Pred(q, labelIdx int) []int32 {
+	i := q*r.labels + labelIdx
+	return r.pred[r.start[i]:r.start[i+1]]
+}
+
+// Rev returns the DFA's reverse-transition index, building it on first
+// use. The index is cached on the DFA and dropped by SetDelta; when the
+// DFA is to be queried from multiple goroutines, call Rev once during
+// setup (Solver construction does this).
+func (d *DFA) Rev() *RevIndex {
+	if d.rev == nil {
+		d.rev = NewRevIndex(d)
+	}
+	return d.rev
+}
+
+// RevStep returns the predecessor states of q under label: all q' with
+// ∆(q', label) = q, or nil when label is outside the alphabet. The
+// returned slice must not be modified.
+func (d *DFA) RevStep(q int, label byte) []int32 {
+	i := d.Alphabet.Index(label)
+	if i < 0 {
+		return nil
+	}
+	return d.Rev().Pred(q, i)
+}

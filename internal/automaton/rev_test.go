@@ -1,0 +1,78 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRevIndexMatchesBruteForce checks RevStep against a direct scan of
+// the transition table on random complete DFAs.
+func TestRevIndexMatchesBruteForce(t *testing.T) {
+	alpha := NewAlphabet('a', 'b', 'c')
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		d := NewDFA(n, alpha, 0)
+		for q := 0; q < n; q++ {
+			for _, label := range alpha {
+				d.SetDelta(q, label, rng.Intn(n))
+			}
+		}
+		total := 0
+		for q := 0; q < n; q++ {
+			for _, label := range alpha {
+				got := d.RevStep(q, label)
+				total += len(got)
+				want := map[int32]bool{}
+				for qp := 0; qp < n; qp++ {
+					if d.Step(qp, label) == q {
+						want[int32(qp)] = true
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: |RevStep(%d,%c)| = %d, want %d", seed, q, label, len(got), len(want))
+				}
+				for _, qp := range got {
+					if !want[qp] {
+						t.Fatalf("seed %d: RevStep(%d,%c) contains non-predecessor %d", seed, q, label, qp)
+					}
+				}
+			}
+		}
+		// Completeness: every (state, letter) transition appears exactly once.
+		if total != n*len(alpha) {
+			t.Fatalf("seed %d: index covers %d transitions, want %d", seed, total, n*len(alpha))
+		}
+	}
+}
+
+func TestRevStepOutsideAlphabet(t *testing.T) {
+	d := NewDFA(2, NewAlphabet('a'), 0)
+	if d.RevStep(0, 'z') != nil {
+		t.Fatal("RevStep outside alphabet must be nil")
+	}
+}
+
+// TestRevIndexInvalidation asserts SetDelta drops the cached index.
+func TestRevIndexInvalidation(t *testing.T) {
+	d := NewDFA(2, NewAlphabet('a'), 0)
+	d.SetDelta(0, 'a', 1)
+	d.SetDelta(1, 'a', 1)
+	if got := d.RevStep(1, 'a'); len(got) != 2 {
+		t.Fatalf("RevStep(1,a) = %v, want two predecessors", got)
+	}
+	d.SetDelta(1, 'a', 0)
+	if got := d.RevStep(1, 'a'); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("stale index after SetDelta: RevStep(1,a) = %v", got)
+	}
+	// Shallow copies share the index; mutating the clone's copy of Delta
+	// must not corrupt the original.
+	c := d.Clone()
+	c.SetDelta(0, 'a', 0)
+	if got := d.RevStep(1, 'a'); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("original index corrupted by clone mutation: %v", got)
+	}
+	if got := c.RevStep(0, 'a'); len(got) != 2 {
+		t.Fatalf("clone index stale: RevStep(0,a) = %v", got)
+	}
+}

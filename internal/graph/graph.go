@@ -22,11 +22,31 @@ type Edge struct {
 // Graph is a db-graph: a finite directed graph whose edges carry
 // single-byte labels. Vertices are dense integers in [0, NumVertices()).
 // The zero value is an empty graph ready to use.
+//
+// The intended lifecycle is build-then-freeze: construct with AddVertex
+// / AddEdge, then query. Derived data that a query would otherwise
+// recompute per call — the alphabet, acyclicity and the CSR snapshot
+// (see Freeze) — is cached on first use and invalidated by mutation, so
+// a warm graph answers these in O(1).
 type Graph struct {
 	out   [][]Edge
 	in    [][]Edge
 	edges int
 	names []string // optional display names, "" when unset
+
+	// Lazily built caches, dropped on mutation.
+	alpha      automaton.Alphabet
+	alphaValid bool
+	csr        *CSR
+	acyclic    int8 // 0 unknown, 1 acyclic, 2 cyclic
+}
+
+// invalidate drops every derived cache; called by all mutating methods.
+func (g *Graph) invalidate() {
+	g.alpha = nil
+	g.alphaValid = false
+	g.csr = nil
+	g.acyclic = 0
 }
 
 // New returns a graph with n isolated vertices.
@@ -46,6 +66,7 @@ func (g *Graph) NumEdges() int { return g.edges }
 
 // AddVertex appends an isolated vertex and returns its id.
 func (g *Graph) AddVertex() int {
+	g.invalidate()
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.names = append(g.names, "")
@@ -77,6 +98,7 @@ func (g *Graph) AddEdge(from int, label byte, to int) {
 			return
 		}
 	}
+	g.invalidate()
 	e := Edge{From: from, Label: label, To: to}
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
@@ -124,10 +146,15 @@ func (g *Graph) HasEdge(from int, label byte, to int) bool {
 	return false
 }
 
-// Alphabet returns the set of labels used by the graph's edges.
+// Alphabet returns the set of labels used by the graph's edges. The
+// result is cached until the next mutation; the returned slice must not
+// be modified.
 func (g *Graph) Alphabet() automaton.Alphabet {
+	if g.alphaValid {
+		return g.alpha
+	}
+	var seen [256]bool
 	var labels []byte
-	seen := map[byte]bool{}
 	for _, es := range g.out {
 		for _, e := range es {
 			if !seen[e.Label] {
@@ -136,7 +163,9 @@ func (g *Graph) Alphabet() automaton.Alphabet {
 			}
 		}
 	}
-	return automaton.NewAlphabet(labels...)
+	g.alpha = automaton.NewAlphabet(labels...)
+	g.alphaValid = true
+	return g.alpha
 }
 
 // Edges returns all edges in deterministic order.
@@ -157,8 +186,23 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// IsAcyclic reports whether the graph is a DAG (ignoring labels).
+// IsAcyclic reports whether the graph is a DAG (ignoring labels). The
+// verdict is cached until the next mutation, so per-query dispatch on a
+// warm graph does not rescan the edges.
 func (g *Graph) IsAcyclic() bool {
+	if g.acyclic != 0 {
+		return g.acyclic == 1
+	}
+	acyclic := g.isAcyclicUncached()
+	if acyclic {
+		g.acyclic = 1
+	} else {
+		g.acyclic = 2
+	}
+	return acyclic
+}
+
+func (g *Graph) isAcyclicUncached() bool {
 	n := g.NumVertices()
 	indeg := make([]int, n)
 	for v := 0; v < n; v++ {

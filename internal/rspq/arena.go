@@ -1,0 +1,82 @@
+package rspq
+
+import "sync"
+
+// This file implements the reusable search scratch shared by the
+// product-based solvers. Every query needs a handful of dense arrays
+// sized by the product |V|·|Q| (visited sets, BFS distances, parent
+// links) that the seed implementation allocated fresh per call. The
+// arena keeps them pooled (sync.Pool, so concurrent queries each get
+// their own) and epoch-stamped: membership of id i means mark[i] equals
+// the current epoch, so "clearing" a set is one counter increment
+// instead of an O(|V|·|Q|) memset. Steady-state queries on a warm
+// Solver therefore run allocation-free until a witness path is
+// materialized.
+
+// stamped is an epoch-stamped membership set over dense int ids.
+type stamped struct {
+	epoch uint32
+	mark  []uint32
+}
+
+// reset prepares the set for n ids, dropping all members in O(1)
+// (amortized: growing or an epoch wrap clears the backing array).
+func (s *stamped) reset(n int) {
+	if cap(s.mark) < n {
+		s.mark = make([]uint32, n)
+	}
+	s.mark = s.mark[:n]
+	s.epoch++
+	if s.epoch == 0 { // wrapped after 2^32 resets: scrub and restart
+		// Scrub the full capacity: spare capacity beyond n may hold
+		// pre-wrap marks that would alias a future epoch.
+		clear(s.mark[:cap(s.mark)])
+		s.epoch = 1
+	}
+}
+
+func (s *stamped) has(i int) bool { return s.mark[i] == s.epoch }
+func (s *stamped) add(i int)      { s.mark[i] = s.epoch }
+
+// remove drops i from the set (epochs start at 1, so 0 never matches).
+func (s *stamped) remove(i int) { s.mark[i] = 0 }
+
+// arena bundles the scratch buffers of one in-flight query. Slices only
+// ever grow; the zero value is ready to use.
+type arena struct {
+	co     stamped // product co-reachability (coReach)
+	seen   stamped // visited set (product ids or vertex ids)
+	dst    stamped // validity stamps for dist
+	dist   []int32 // BFS distances, valid where dst holds
+	parent []int32 // BFS/DFS parent links, valid where seen/dst holds
+	plabel []byte  // labels of the parent links
+	queue  []int32 // BFS worklist
+	vs     []int   // path vertex scratch
+	ls     []byte  // path label scratch
+	lmap   []int16 // CSR label id -> DFA alphabet index (-1 absent)
+}
+
+// growProduct sizes dist/parent/plabel for ids in [0, n).
+func (a *arena) growProduct(n int) {
+	if cap(a.dist) < n {
+		a.dist = make([]int32, n)
+		a.parent = make([]int32, n)
+		a.plabel = make([]byte, n)
+	}
+	a.dist = a.dist[:n]
+	a.parent = a.parent[:n]
+	a.plabel = a.plabel[:n]
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func getArena() *arena { return arenaPool.Get().(*arena) }
+
+func (a *arena) release() {
+	// Keep the grown buffers; drop only the queue length so the next
+	// user starts from an empty worklist.
+	a.queue = a.queue[:0]
+	a.vs = a.vs[:0]
+	a.ls = a.ls[:0]
+	arenaPool.Put(a)
+}

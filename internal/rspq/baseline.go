@@ -11,51 +11,97 @@ type BaselineStats struct {
 	Nodes int64 // DFS nodes expanded
 }
 
+// bsearch carries the state of one baseline backtracking search. It is
+// a struct (not a closure) so the recursion does not allocate and the
+// buffers come from the arena.
+type bsearch struct {
+	p     product
+	a     *arena
+	d     *automaton.DFA
+	y     int
+	limit int // depth bound, -1 when unbounded
+	stats *BaselineStats
+	vs    []int
+	ls    []byte
+}
+
+// dfs extends the current simple path from (v, q); visited vertices are
+// marked in a.seen, co-reachability pruning reads a.co (unbounded mode)
+// or the a.dist lower bounds (bounded mode).
+func (b *bsearch) dfs(v, q, used int) bool {
+	if b.stats != nil {
+		b.stats.Nodes++
+	}
+	if v == b.y && b.d.Accept[q] && (b.limit < 0 || used == b.limit) {
+		return true
+	}
+	if b.limit >= 0 && used >= b.limit {
+		return false
+	}
+	L := b.p.csr.NumLabels()
+	for lid := 0; lid < L; lid++ {
+		di := b.p.lmap[lid]
+		if di < 0 {
+			continue
+		}
+		t := b.d.StepIndex(q, int(di))
+		label := b.p.csr.Label(lid)
+		for _, to32 := range b.p.csr.OutWithID(v, lid) {
+			to := int(to32)
+			if b.a.seen.has(to) {
+				continue
+			}
+			nid := to*b.p.m + t
+			if b.limit < 0 {
+				if !b.a.co.has(nid) {
+					continue
+				}
+			} else {
+				if dg := b.a.distAt(nid); dg < 0 || used+1+int(dg) > b.limit {
+					continue
+				}
+			}
+			b.a.seen.add(to)
+			b.vs = append(b.vs, to)
+			b.ls = append(b.ls, label)
+			if b.dfs(to, t, used+1) {
+				return true
+			}
+			b.a.seen.remove(to)
+			b.vs = b.vs[:len(b.vs)-1]
+			b.ls = b.ls[:len(b.ls)-1]
+		}
+	}
+	return false
+}
+
+func (b *bsearch) witness() Result {
+	return Result{Found: true, Path: &graph.Path{
+		Vertices: append([]int(nil), b.vs...),
+		Labels:   append([]byte(nil), b.ls...),
+	}}
+}
+
 // Baseline answers RSPQ(L) exactly for any regular language by
 // backtracking over the product G × A_L with a visited set, pruned by
 // product co-reachability. Worst-case exponential (the problem is
 // NP-complete outside trC); complete and sound for every language.
 // stats may be nil.
 func Baseline(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
-	p := newProduct(g, d)
-	co := p.coReach(y)
-	visited := make([]bool, g.NumVertices())
-	var vs []int
-	var ls []byte
-
-	var dfs func(v, q int) bool
-	dfs = func(v, q int) bool {
-		if stats != nil {
-			stats.Nodes++
-		}
-		if v == y && d.Accept[q] {
-			return true
-		}
-		for _, e := range g.OutEdges(v) {
-			t, ok := d.StepOK(q, e.Label)
-			if !ok || visited[e.To] || !co[p.id(e.To, t)] {
-				continue
-			}
-			visited[e.To] = true
-			vs = append(vs, e.To)
-			ls = append(ls, e.Label)
-			if dfs(e.To, t) {
-				return true
-			}
-			visited[e.To] = false
-			vs = vs[:len(vs)-1]
-			ls = ls[:len(ls)-1]
-		}
-		return false
-	}
-
-	if !co[p.id(x, d.Start)] {
+	a := getArena()
+	defer a.release()
+	b := bsearch{p: makeProduct(g, d, a), a: a, d: d, y: y, limit: -1, stats: stats}
+	b.p.coReach(y, a)
+	if !a.co.has(b.p.id(x, d.Start)) {
 		return Result{}
 	}
-	visited[x] = true
-	vs = append(vs, x)
-	if dfs(x, d.Start) {
-		return Result{Found: true, Path: &graph.Path{Vertices: vs, Labels: ls}}
+	a.seen.reset(b.p.n)
+	a.seen.add(x)
+	b.vs = append(a.vs[:0], x)
+	b.ls = a.ls[:0]
+	defer func() { a.vs, a.ls = b.vs[:0], b.ls[:0] }()
+	if b.dfs(x, d.Start, 0) {
+		return b.witness()
 	}
 	return Result{}
 }
@@ -65,56 +111,25 @@ func Baseline(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) 
 // product distance to the goal provides an admissible lower bound, so
 // the first depth at which a path appears is optimal.
 func BaselineShortest(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
-	p := newProduct(g, d)
-	dist := p.distToGoal(y)
-	start := p.id(x, d.Start)
-	if dist[start] < 0 {
+	a := getArena()
+	defer a.release()
+	b := bsearch{p: makeProduct(g, d, a), a: a, d: d, y: y, stats: stats}
+	b.p.distToGoal(y, a)
+	start := b.p.id(x, d.Start)
+	if a.distAt(start) < 0 {
 		return Result{}
 	}
-	visited := make([]bool, g.NumVertices())
-	var vs []int
-	var ls []byte
-
+	defer func() { a.vs, a.ls = b.vs[:0], b.ls[:0] }()
 	maxDepth := g.NumVertices() - 1
-	for limit := dist[start]; limit <= maxDepth; limit++ {
-		var dfs func(v, q, used int) bool
-		dfs = func(v, q, used int) bool {
-			if stats != nil {
-				stats.Nodes++
-			}
-			if v == y && d.Accept[q] && used == limit {
-				return true
-			}
-			if used >= limit {
-				return false
-			}
-			for _, e := range g.OutEdges(v) {
-				t, ok := d.StepOK(q, e.Label)
-				if !ok || visited[e.To] {
-					continue
-				}
-				if dg := dist[p.id(e.To, t)]; dg < 0 || used+1+dg > limit {
-					continue
-				}
-				visited[e.To] = true
-				vs = append(vs, e.To)
-				ls = append(ls, e.Label)
-				if dfs(e.To, t, used+1) {
-					return true
-				}
-				visited[e.To] = false
-				vs = vs[:len(vs)-1]
-				ls = ls[:len(ls)-1]
-			}
-			return false
+	for limit := int(a.distAt(start)); limit <= maxDepth; limit++ {
+		b.limit = limit
+		a.seen.reset(b.p.n)
+		a.seen.add(x)
+		b.vs = append(a.vs[:0], x)
+		b.ls = a.ls[:0]
+		if b.dfs(x, d.Start, 0) {
+			return b.witness()
 		}
-		visited[x] = true
-		vs = append(vs[:0], x)
-		ls = ls[:0]
-		if dfs(x, d.Start, 0) {
-			return Result{Found: true, Path: &graph.Path{Vertices: vs, Labels: ls}}
-		}
-		visited[x] = false
 	}
 	return Result{}
 }

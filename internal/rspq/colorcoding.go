@@ -3,6 +3,7 @@ package rspq
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -58,38 +59,50 @@ func ColorCoding(g *graph.Graph, d *automaton.DFA, x, y, k int, opts ColorCoding
 		}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	a := getArena()
+	defer a.release()
+	p := makeProduct(g, d, a)
 	color := make([]int, g.NumVertices())
+	// reach and parent are reused across trials: one allocation per
+	// query instead of one per coloring.
+	reach := make([]bool, (1<<colors)*p.n*p.m)
+	parent := make(map[int]ccParent, 1024)
 	for t := 0; t < trials; t++ {
 		for v := range color {
 			color[v] = rng.Intn(colors)
 		}
-		if p := colorfulSearch(g, d, x, y, k, color, colors); p != nil {
-			return Result{Found: true, Path: p}
+		if t > 0 {
+			clear(reach)
+			clear(parent)
+		}
+		if path := colorfulSearch(&p, d, x, y, k, color, colors, reach, parent); path != nil {
+			return Result{Found: true, Path: path}
 		}
 	}
 	return Result{}
 }
 
+// ccParent records how a color-coding DP state was first reached.
+type ccParent struct {
+	fromV, fromQ int
+	label        byte
+}
+
 // colorfulSearch runs the color-coding dynamic program for one coloring
 // and reconstructs a path on success. State: (color set S, vertex v,
 // automaton state q) is reachable iff a colorful path from x to v uses
-// exactly the colors S and drives A_L to q.
-func colorfulSearch(g *graph.Graph, d *automaton.DFA, x, y, k int, color []int, colors int) *graph.Path {
-	n := g.NumVertices()
-	m := d.NumStates
-	size := (1 << colors) * n * m
-	// reach is indexed by ((S*n)+v)*m+q.
-	reach := make([]bool, size)
-	type parentRec struct {
-		fromV, fromQ int
-		label        byte
-	}
-	parent := make(map[int]parentRec, 1024)
+// exactly the colors S and drives A_L to q. Transitions walk the CSR's
+// label buckets, stepping the DFA once per (state, label) instead of
+// once per edge.
+func colorfulSearch(p *product, d *automaton.DFA, x, y, k int, color []int, colors int, reach []bool, parent map[int]ccParent) *graph.Path {
+	n := p.n
+	m := p.m
 	idx := func(S, v, q int) int { return (S*n+v)*m + q }
 
 	startSet := 1 << color[x]
 	reach[idx(startSet, x, d.Start)] = true
 
+	L := p.csr.NumLabels()
 	// Process subsets in increasing popcount order = increasing integer
 	// order works because transitions only add bits.
 	for S := 1; S < (1 << colors); S++ {
@@ -101,19 +114,24 @@ func colorfulSearch(g *graph.Graph, d *automaton.DFA, x, y, k int, color []int, 
 				if popcount(S)-1 >= k {
 					continue // path already has k edges
 				}
-				for _, e := range g.OutEdges(v) {
-					c := color[e.To]
-					if S&(1<<c) != 0 {
+				for lid := 0; lid < L; lid++ {
+					di := p.lmap[lid]
+					if di < 0 {
 						continue
 					}
-					t, ok := d.StepOK(q, e.Label)
-					if !ok {
-						continue
-					}
-					ni := idx(S|1<<c, e.To, t)
-					if !reach[ni] {
-						reach[ni] = true
-						parent[ni] = parentRec{fromV: v, fromQ: q, label: e.Label}
+					t := d.StepIndex(q, int(di))
+					label := p.csr.Label(lid)
+					for _, to32 := range p.csr.OutWithID(v, lid) {
+						to := int(to32)
+						c := color[to]
+						if S&(1<<c) != 0 {
+							continue
+						}
+						ni := idx(S|1<<c, to, t)
+						if !reach[ni] {
+							reach[ni] = true
+							parent[ni] = ccParent{fromV: v, fromQ: q, label: label}
+						}
 					}
 				}
 			}
@@ -143,11 +161,11 @@ func colorfulSearch(g *graph.Graph, d *automaton.DFA, x, y, k int, color []int, 
 				curS &^= 1 << color[curV]
 				curV, curQ = rec.fromV, rec.fromQ
 			}
-			reverseInts(vs)
-			reverseBytes(ls)
-			p := &graph.Path{Vertices: vs, Labels: ls}
-			if p.IsSimple() && d.Member(p.Word()) {
-				return p
+			slices.Reverse(vs)
+			slices.Reverse(ls)
+			path := &graph.Path{Vertices: vs, Labels: ls}
+			if path.IsSimple() && d.Member(path.Word()) {
+				return path
 			}
 		}
 	}

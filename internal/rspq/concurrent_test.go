@@ -1,0 +1,39 @@
+package rspq
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestConcurrentWarmSolver exercises the documented concurrency
+// contract: after Solver.Warm freezes the graph-side indexes, many
+// goroutines may query the same solver and graph simultaneously (the
+// pooled arenas hand each query its own scratch). Run with -race.
+func TestConcurrentWarmSolver(t *testing.T) {
+	s, err := NewSolver("a*(bb+|())c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.RandomRegular(200, []byte{'a', 'b', 'c'}, 3, 5)
+	s.Warm(g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				x, y := rng.Intn(200), rng.Intn(200)
+				res := s.Solve(g, x, y)
+				if !VerifyWitness(res, g, s.Min, x, y) {
+					t.Errorf("invalid witness for %d->%d", x, y)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -12,6 +12,9 @@ import (
 // path search (the FO-expressible predicate path_w(x,y) of Lemma 17's
 // easiness proof). Words are tried in increasing length, so the result
 // is a shortest simple L-labeled path.
+//
+// Warm solvers precompute the word list once (see Solver); this entry
+// point re-derives it from the DFA for standalone callers.
 func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
 	min := d.Minimize()
 	if !min.IsFinite() {
@@ -19,6 +22,13 @@ func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
 		// languages here.
 		return Baseline(g, d, x, y, nil)
 	}
+	return finiteWithWords(g, finiteWords(min), x, y)
+}
+
+// finiteWords lists the words of a finite language recognized by the
+// minimal DFA min, sorted by (length, lexicographic) so that the first
+// witness found is shortest.
+func finiteWords(min *automaton.DFA) []string {
 	// Longest word of a finite language < number of DFA states.
 	words := min.Words(min.NumStates, -1)
 	sort.Slice(words, func(i, j int) bool {
@@ -27,6 +37,12 @@ func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
 		}
 		return words[i] < words[j]
 	})
+	return words
+}
+
+// finiteWithWords runs the word-by-word search over a precomputed,
+// (length, lex)-sorted word list.
+func finiteWithWords(g *graph.Graph, words []string, x, y int) Result {
 	for _, w := range words {
 		if p := wordPath(g, w, x, y); p != nil {
 			return Result{Found: true, Path: p}
@@ -35,8 +51,47 @@ func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
 	return Result{}
 }
 
+// wsearch is the scratch of one word-constrained simple-path search; a
+// struct (not a closure) so recursion does not allocate.
+type wsearch struct {
+	csr *graph.CSR
+	a   *arena
+	w   string
+	y   int
+	vs  []int
+	ls  []byte
+}
+
+func (s *wsearch) dfs(v, i int) bool {
+	if i == len(s.w) {
+		return v == s.y
+	}
+	label := s.w[i]
+	for _, to32 := range s.csr.OutWith(v, label) {
+		to := int(to32)
+		if s.a.seen.has(to) {
+			continue
+		}
+		// The endpoint must be reached exactly at the last letter.
+		if to == s.y && i != len(s.w)-1 {
+			continue
+		}
+		s.a.seen.add(to)
+		s.vs = append(s.vs, to)
+		s.ls = append(s.ls, label)
+		if s.dfs(to, i+1) {
+			return true
+		}
+		s.a.seen.remove(to)
+		s.vs = s.vs[:len(s.vs)-1]
+		s.ls = s.ls[:len(s.ls)-1]
+	}
+	return false
+}
+
 // wordPath finds a simple path from x to y spelling exactly w, by
-// depth-first search over the |w| positions.
+// depth-first search over the |w| positions against the CSR's
+// label-bucketed adjacency.
 func wordPath(g *graph.Graph, w string, x, y int) *graph.Path {
 	if x == y {
 		if w == "" {
@@ -47,38 +102,19 @@ func wordPath(g *graph.Graph, w string, x, y int) *graph.Path {
 	if w == "" {
 		return nil
 	}
-	visited := make([]bool, g.NumVertices())
-	var vs []int
-	var ls []byte
-	var dfs func(v, i int) bool
-	dfs = func(v, i int) bool {
-		if i == len(w) {
-			return v == y
+	a := getArena()
+	defer a.release()
+	s := wsearch{csr: g.Freeze(), a: a, w: w, y: y}
+	a.seen.reset(s.csr.NumVertices())
+	a.seen.add(x)
+	s.vs = append(a.vs[:0], x)
+	s.ls = a.ls[:0]
+	defer func() { a.vs, a.ls = s.vs[:0], s.ls[:0] }()
+	if s.dfs(x, 0) {
+		return &graph.Path{
+			Vertices: append([]int(nil), s.vs...),
+			Labels:   append([]byte(nil), s.ls...),
 		}
-		for _, e := range g.OutEdges(v) {
-			if e.Label != w[i] || visited[e.To] {
-				continue
-			}
-			// The endpoint must be reached exactly at the last letter.
-			if e.To == y && i != len(w)-1 {
-				continue
-			}
-			visited[e.To] = true
-			vs = append(vs, e.To)
-			ls = append(ls, e.Label)
-			if dfs(e.To, i+1) {
-				return true
-			}
-			visited[e.To] = false
-			vs = vs[:len(vs)-1]
-			ls = ls[:len(ls)-1]
-		}
-		return false
-	}
-	visited[x] = true
-	vs = append(vs, x)
-	if dfs(x, 0) {
-		return &graph.Path{Vertices: vs, Labels: ls}
 	}
 	return nil
 }

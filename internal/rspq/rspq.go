@@ -21,6 +21,8 @@
 package rspq
 
 import (
+	"slices"
+
 	"repro/internal/automaton"
 	"repro/internal/graph"
 )
@@ -46,148 +48,208 @@ func VerifyWitness(res Result, g *graph.Graph, d *automaton.DFA, x, y int) bool 
 	return p.IsSimple() && p.ValidIn(g) && d.Member(p.Word())
 }
 
-// product indexes (vertex, state) pairs of the G×A_L product graph.
+// product indexes (vertex, state) pairs of the G×A_L product graph. It
+// works on the frozen CSR snapshot of the graph and the DFA's
+// reverse-transition index, so forward steps touch contiguous
+// label-bucketed edge slices and backward steps enumerate exact
+// predecessor states instead of scanning all of them.
 type product struct {
-	g *graph.Graph
-	d *automaton.DFA
-	n int // vertices
-	m int // states
+	csr  *graph.CSR
+	d    *automaton.DFA
+	rev  *automaton.RevIndex
+	n    int     // vertices
+	m    int     // states
+	lmap []int16 // CSR label id -> DFA alphabet index, -1 when absent
 }
 
-func newProduct(g *graph.Graph, d *automaton.DFA) *product {
-	return &product{g: g, d: d, n: g.NumVertices(), m: d.NumStates}
+func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {
+	csr := g.Freeze()
+	L := csr.NumLabels()
+	if cap(a.lmap) < L {
+		a.lmap = make([]int16, L)
+	}
+	a.lmap = a.lmap[:L]
+	for lid := 0; lid < L; lid++ {
+		a.lmap[lid] = int16(d.Alphabet.Index(csr.Label(lid)))
+	}
+	return product{csr: csr, d: d, rev: d.Rev(), n: csr.NumVertices(), m: d.NumStates, lmap: a.lmap}
 }
 
 func (p *product) id(v, q int) int { return v*p.m + q }
 
 // coReach computes, for every (v, q), whether some walk from v labeled
 // w with ∆(q, w) accepting reaches y. This ignores simplicity and is
-// the standard pruning oracle for the simple-path searches.
-func (p *product) coReach(y int) []bool {
-	// Backward BFS over the product needs reverse edges.
-	out := make([]bool, p.n*p.m)
-	var queue []int
+// the standard pruning oracle for the simple-path searches. The result
+// is left in a.co.
+func (p *product) coReach(y int, a *arena) {
+	a.co.reset(p.n * p.m)
+	queue := a.queue[:0]
 	for q := 0; q < p.m; q++ {
 		if p.d.Accept[q] {
 			id := p.id(y, q)
-			out[id] = true
-			queue = append(queue, id)
+			a.co.add(id)
+			queue = append(queue, int32(id))
 		}
 	}
-	for len(queue) > 0 {
-		id := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	L := p.csr.NumLabels()
+	for at := 0; at < len(queue); at++ {
+		id := int(queue[at])
 		v, q := id/p.m, id%p.m
-		for _, e := range p.g.InEdges(v) {
-			// Predecessor states q' with ∆(q', label) = q.
-			for qp := 0; qp < p.m; qp++ {
-				if t, ok := p.d.StepOK(qp, e.Label); ok && t == q {
-					pid := p.id(e.From, qp)
-					if !out[pid] {
-						out[pid] = true
-						queue = append(queue, pid)
+		for lid := 0; lid < L; lid++ {
+			di := p.lmap[lid]
+			if di < 0 {
+				continue
+			}
+			preds := p.rev.Pred(q, int(di))
+			if len(preds) == 0 {
+				continue
+			}
+			for _, u := range p.csr.InWithID(v, lid) {
+				base := int(u) * p.m
+				for _, qp := range preds {
+					pid := base + int(qp)
+					if !a.co.has(pid) {
+						a.co.add(pid)
+						queue = append(queue, int32(pid))
 					}
 				}
 			}
 		}
 	}
-	return out
+	a.queue = queue
 }
 
 // distToGoal computes product BFS distances to the accepting goal
-// (y, accepting); -1 when unreachable.
-func (p *product) distToGoal(y int) []int {
-	dist := make([]int, p.n*p.m)
-	for i := range dist {
-		dist[i] = -1
-	}
-	var queue []int
+// (y, accepting), left in a.dist; entries are valid where a.dst holds.
+func (p *product) distToGoal(y int, a *arena) {
+	nm := p.n * p.m
+	a.dst.reset(nm)
+	a.growProduct(nm)
+	queue := a.queue[:0]
 	for q := 0; q < p.m; q++ {
 		if p.d.Accept[q] {
 			id := p.id(y, q)
-			dist[id] = 0
-			queue = append(queue, id)
+			a.dst.add(id)
+			a.dist[id] = 0
+			queue = append(queue, int32(id))
 		}
 	}
+	L := p.csr.NumLabels()
 	for at := 0; at < len(queue); at++ {
-		id := queue[at]
+		id := int(queue[at])
 		v, q := id/p.m, id%p.m
-		for _, e := range p.g.InEdges(v) {
-			for qp := 0; qp < p.m; qp++ {
-				if t, ok := p.d.StepOK(qp, e.Label); ok && t == q {
-					pid := p.id(e.From, qp)
-					if dist[pid] < 0 {
-						dist[pid] = dist[id] + 1
-						queue = append(queue, pid)
+		for lid := 0; lid < L; lid++ {
+			di := p.lmap[lid]
+			if di < 0 {
+				continue
+			}
+			preds := p.rev.Pred(q, int(di))
+			if len(preds) == 0 {
+				continue
+			}
+			for _, u := range p.csr.InWithID(v, lid) {
+				base := int(u) * p.m
+				for _, qp := range preds {
+					pid := base + int(qp)
+					if !a.dst.has(pid) {
+						a.dst.add(pid)
+						a.dist[pid] = a.dist[id] + 1
+						queue = append(queue, int32(pid))
 					}
 				}
 			}
 		}
 	}
-	return dist
+	a.queue = queue
+}
+
+// distAt returns the product distance computed by distToGoal, -1 when
+// unreachable.
+func (a *arena) distAt(id int) int32 {
+	if !a.dst.has(id) {
+		return -1
+	}
+	return a.dist[id]
 }
 
 // ShortestWalk returns a shortest (not necessarily simple) L-labeled
 // walk from x to y, or nil: the classical RPQ evaluation via BFS over
-// the product G × A_L.
+// the product G × A_L. The only allocation on a warm solver is the
+// returned path.
 func ShortestWalk(g *graph.Graph, d *automaton.DFA, x, y int) *graph.Path {
-	p := newProduct(g, d)
-	type parentRec struct {
-		prev  int
-		label byte
+	a := getArena()
+	defer a.release()
+	goal := walkSearch(g, d, x, y, a)
+	if goal < 0 {
+		return nil
 	}
-	parent := make([]parentRec, p.n*p.m)
-	seen := make([]bool, p.n*p.m)
+	// Reconstruct from the parent links left in the arena.
+	m := d.NumStates
+	vs := a.vs[:0]
+	ls := a.ls[:0]
+	for cur := int32(goal); cur >= 0; cur = a.parent[cur] {
+		vs = append(vs, int(cur)/m)
+		if a.parent[cur] >= 0 {
+			ls = append(ls, a.plabel[cur])
+		}
+	}
+	slices.Reverse(vs)
+	slices.Reverse(ls)
+	a.vs, a.ls = vs, ls
+	return &graph.Path{
+		Vertices: append([]int(nil), vs...),
+		Labels:   append([]byte(nil), ls...),
+	}
+}
+
+// walkSearch runs the forward product BFS, leaving parent links in the
+// arena. It returns the accepting goal id, or -1.
+func walkSearch(g *graph.Graph, d *automaton.DFA, x, y int, a *arena) int {
+	p := makeProduct(g, d, a)
+	nm := p.n * p.m
+	a.seen.reset(nm)
+	a.growProduct(nm)
 	start := p.id(x, d.Start)
-	seen[start] = true
-	parent[start] = parentRec{prev: -1}
-	queue := []int{start}
-	for at := 0; at < len(queue); at++ {
-		id := queue[at]
+	a.seen.add(start)
+	a.parent[start] = -1
+	queue := a.queue[:0]
+	queue = append(queue, int32(start))
+	goal := -1
+	L := p.csr.NumLabels()
+	for at := 0; at < len(queue) && goal < 0; at++ {
+		id := int(queue[at])
 		v, q := id/p.m, id%p.m
 		if v == y && d.Accept[q] {
-			// Reconstruct.
-			var vs []int
-			var ls []byte
-			for cur := id; cur >= 0; cur = parent[cur].prev {
-				vs = append(vs, cur/p.m)
-				if parent[cur].prev >= 0 {
-					ls = append(ls, parent[cur].label)
-				}
-			}
-			reverseInts(vs)
-			reverseBytes(ls)
-			return &graph.Path{Vertices: vs, Labels: ls}
+			goal = id
+			break
 		}
-		for _, e := range g.OutEdges(v) {
-			t, ok := d.StepOK(q, e.Label)
-			if !ok {
+		for lid := 0; lid < L; lid++ {
+			di := p.lmap[lid]
+			if di < 0 {
 				continue
 			}
-			nid := p.id(e.To, t)
-			if !seen[nid] {
-				seen[nid] = true
-				parent[nid] = parentRec{prev: id, label: e.Label}
-				queue = append(queue, nid)
+			t := d.StepIndex(q, int(di))
+			label := p.csr.Label(lid)
+			for _, to := range p.csr.OutWithID(v, lid) {
+				nid := int(to)*p.m + t
+				if !a.seen.has(nid) {
+					a.seen.add(nid)
+					a.parent[nid] = int32(id)
+					a.plabel[nid] = label
+					queue = append(queue, int32(nid))
+				}
 			}
 		}
 	}
-	return nil
+	a.queue = queue
+	return goal
 }
 
-// ExistsWalk reports the boolean RPQ answer.
+// ExistsWalk reports the boolean RPQ answer. It runs the same product
+// BFS as ShortestWalk but skips witness reconstruction, so warm calls
+// are allocation-free.
 func ExistsWalk(g *graph.Graph, d *automaton.DFA, x, y int) bool {
-	return ShortestWalk(g, d, x, y) != nil
-}
-
-func reverseInts(xs []int) {
-	for l, r := 0, len(xs)-1; l < r; l, r = l+1, r-1 {
-		xs[l], xs[r] = xs[r], xs[l]
-	}
-}
-
-func reverseBytes(xs []byte) {
-	for l, r := 0, len(xs)-1; l < r; l, r = l+1, r-1 {
-		xs[l], xs[r] = xs[r], xs[l]
-	}
+	a := getArena()
+	defer a.release()
+	return walkSearch(g, d, x, y, a) >= 0
 }

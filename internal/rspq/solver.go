@@ -56,12 +56,24 @@ func (a Algorithm) String() string {
 // Solver bundles a compiled language with its trichotomy classification
 // and (when available) its Ψtr normal form, and dispatches queries to
 // the best algorithm.
+//
+// A Solver is built once and queried many times; everything that
+// depends only on the language — the minimal DFA, its
+// reverse-transition index, the sorted word list of a finite language,
+// the Ψtr evaluation plans — is precomputed or memoized, so
+// steady-state queries run against frozen indexes and pooled scratch
+// without per-call allocation (beyond the witness path itself).
 type Solver struct {
 	Regex          *automaton.Regex
 	Min            *automaton.DFA // minimal complete DFA
 	Classification core.Classification
 	Expr           *psitr.Expr // nil when the regex has no recognized Ψtr form
 	SubwordClosed  bool
+
+	// words is the (length, lex)-sorted word list of a finite language,
+	// precomputed so the AC⁰-tier search skips re-minimization and
+	// re-enumeration per query; nil for infinite languages.
+	words []string
 }
 
 // NewSolver compiles a regex pattern into a ready-to-query solver.
@@ -85,7 +97,24 @@ func NewSolverFromRegex(r *automaton.Regex) (*Solver, error) {
 	if e, err := psitr.FromRegex(r); err == nil {
 		s.Expr = e
 	}
+	// Prebuild the language-side indexes so first queries — and
+	// concurrent ones — never race on lazy construction.
+	s.Min.Rev()
+	if s.Classification.Finite {
+		s.words = finiteWords(s.Min)
+	}
 	return s, nil
+}
+
+// Warm precomputes every graph-side index a query on g would build
+// lazily (the CSR snapshot and dispatch caches). Calling Warm once
+// after graph construction makes subsequent concurrent queries on g
+// safe and allocation-free at steady state; it is optional for
+// single-goroutine use, where the first query warms the caches.
+func (s *Solver) Warm(g *graph.Graph) {
+	g.Freeze()
+	g.IsAcyclic()
+	g.Alphabet()
 }
 
 // ChooseAlgorithm reports how Solve would answer a query on g.
@@ -122,6 +151,9 @@ func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
 	}
 	switch algo {
 	case AlgoFinite:
+		if s.words != nil {
+			return finiteWithWords(g, s.words, x, y)
+		}
 		return Finite(g, s.Min, x, y)
 	case AlgoSubword:
 		return Subword(g, s.Min, x, y)
@@ -155,7 +187,10 @@ func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
 func (s *Solver) Shortest(g *graph.Graph, x, y int) Result {
 	switch {
 	case s.Classification.Finite:
-		return Finite(g, s.Min, x, y) // tries words in increasing length
+		if s.words != nil {
+			return finiteWithWords(g, s.words, x, y) // tries words in increasing length
+		}
+		return Finite(g, s.Min, x, y)
 	case g.IsAcyclic():
 		res, _ := DAG(g, s.Min, x, y)
 		return res

@@ -1,6 +1,9 @@
 package rspq
 
 import (
+	"slices"
+	"sync"
+
 	"repro/internal/automaton"
 	"repro/internal/graph"
 	"repro/internal/psitr"
@@ -29,6 +32,13 @@ import (
 // simple L-labeled path is nice, i.e. decomposes into such a skeleton
 // with shortest gap completions — which the test-suite cross-validates
 // against the exponential baseline on randomized instances.
+//
+// Performance architecture: the per-sequence plan (units + position NFA
+// + its reverse arcs) depends only on the Ψtr sequence, so it is built
+// once and memoized; graph walks go through the label-bucketed CSR
+// snapshot (graph.Freeze), and all per-query scratch lives in a pooled,
+// epoch-stamped seqSearcher — a warm solver only allocates when it
+// materializes a witness path.
 
 // SolvePsitr answers RSPQ(L(e)) on g. With shortest=false it stops at
 // the first witness; with shortest=true it exhausts all candidate
@@ -37,8 +47,9 @@ import (
 func SolvePsitr(g *graph.Graph, e *psitr.Expr, x, y int, shortest bool) Result {
 	best := Result{}
 	for _, seq := range e.Seqs {
-		ss := newSeqSearcher(g, seq, x, y, shortest)
+		ss := acquireSeqSearcher(g, seq, x, y, shortest)
 		res := ss.run()
+		ss.release()
 		if !res.Found {
 			continue
 		}
@@ -76,59 +87,40 @@ type unit struct {
 	loop  int
 }
 
-// skelElem is one element of a candidate skeleton: either an explicit
-// edge or a gap marker.
-type skelElem struct {
-	isGap  bool
-	gapIdx int
-	label  byte
-	to     int
+// revArc is one reverse transition of the eps-free position NFA.
+type revArc struct {
+	from  int32
+	label byte
 }
 
-type gapRec struct {
-	a     automaton.Alphabet
-	entry int
-	exit  int
-}
-
-type seqSearcher struct {
-	g        *graph.Graph
-	x, y     int
-	shortest bool
-
+// seqPlan is the compiled, immutable evaluation plan of one Ψtr
+// sequence: the unit list plus the eps-free position NFA in the two
+// orientations the searcher needs (forward states inside units, reverse
+// arcs for the co-reachability table). Plans depend only on the
+// sequence, so they are memoized in planCache and shared by every query
+// and every goroutine.
+type seqPlan struct {
 	units    []unit
 	startPos int
 	posCount int
-	coreach  []bool // (v*posCount + s)
-
-	used []bool
-	skel []skelElem
-	gaps []gapRec
-
-	found bool
-	done  bool // early exit flag (non-shortest mode)
-	best  *graph.Path
-
-	// scratch buffers for gap completion
-	dist    []int
-	parent  []int
-	accAll  []bool
-	inQueue []int
+	rnfa     [][]revArc
+	accepts  []int32
 }
 
-func newSeqSearcher(g *graph.Graph, seq *psitr.Sequence, x, y int, shortest bool) *seqSearcher {
-	ss := &seqSearcher{g: g, x: x, y: y, shortest: shortest}
-	ss.buildPlan(seq)
-	ss.used = make([]bool, g.NumVertices())
-	ss.dist = make([]int, g.NumVertices())
-	ss.parent = make([]int, g.NumVertices())
-	ss.accAll = make([]bool, g.NumVertices())
-	return ss
+var planCache sync.Map // *psitr.Sequence -> *seqPlan
+
+func planFor(seq *psitr.Sequence) *seqPlan {
+	if p, ok := planCache.Load(seq); ok {
+		return p.(*seqPlan)
+	}
+	p, _ := planCache.LoadOrStore(seq, buildPlan(seq))
+	return p.(*seqPlan)
 }
 
 // buildPlan flattens the sequence into units and builds the position
 // NFA used for co-reachability pruning.
-func (ss *seqSearcher) buildPlan(seq *psitr.Sequence) {
+func buildPlan(seq *psitr.Sequence) *seqPlan {
+	pl := &seqPlan{}
 	alpha := automaton.NewAlphabet(append([]byte(seq.Prefix+seq.Suffix), seqLetters(seq)...)...)
 	n := automaton.NewNFA(1, alpha, 0)
 	cur := 0 // NFA state at the current plan position
@@ -145,7 +137,7 @@ func (ss *seqSearcher) buildPlan(seq *psitr.Sequence) {
 		if kind == uOptWord {
 			n.AddEps(entry, cur)
 		}
-		ss.units = append(ss.units, u)
+		pl.units = append(pl.units, u)
 	}
 
 	if seq.Prefix != "" {
@@ -180,7 +172,7 @@ func (ss *seqSearcher) buildPlan(seq *psitr.Sequence) {
 			n.AddEps(entry, exit) // skip (ε)
 			n.AddEps(loop, exit)  // done
 			cur = exit
-			ss.units = append(ss.units, u)
+			pl.units = append(pl.units, u)
 		}
 	}
 	if seq.Suffix != "" {
@@ -189,9 +181,20 @@ func (ss *seqSearcher) buildPlan(seq *psitr.Sequence) {
 	n.Accept[cur] = true
 
 	ef := n.EpsFree()
-	ss.posCount = ef.NumStates
-	ss.startPos = ef.Start
-	ss.coreach = ss.computeCoReach(ef)
+	pl.posCount = ef.NumStates
+	pl.startPos = ef.Start
+	pl.rnfa = make([][]revArc, ef.NumStates)
+	for q := 0; q < ef.NumStates; q++ {
+		for _, e := range ef.Edges[q] {
+			pl.rnfa[e.To] = append(pl.rnfa[e.To], revArc{from: int32(q), label: e.Label})
+		}
+	}
+	for s := 0; s < ef.NumStates; s++ {
+		if ef.Accept[s] {
+			pl.accepts = append(pl.accepts, int32(s))
+		}
+	}
+	return pl
 }
 
 func seqLetters(seq *psitr.Sequence) []byte {
@@ -203,60 +206,162 @@ func seqLetters(seq *psitr.Sequence) []byte {
 	return out
 }
 
+// skelElem is one element of a candidate skeleton: either an explicit
+// edge or a gap marker.
+type skelElem struct {
+	isGap  bool
+	gapIdx int
+	label  byte
+	to     int
+}
+
+type gapRec struct {
+	a     automaton.Alphabet
+	entry int
+	exit  int
+}
+
+// gapSpan locates one completed gap path inside the flat gvs/gls
+// buffers.
+type gapSpan struct {
+	v0, v1 int32
+	l0, l1 int32
+}
+
+type seqSearcher struct {
+	g        *graph.Graph
+	csr      *graph.CSR
+	n        int
+	x, y     int
+	shortest bool
+	plan     *seqPlan
+	units    []unit // aliases plan.units
+
+	coreach stamped // (v*posCount + s)
+	queue   []int32
+
+	used []bool
+	skel []skelElem
+	gaps []gapRec
+
+	found bool
+	done  bool // early exit flag (non-shortest mode)
+	best  *graph.Path
+
+	// gap-exit enumeration: a stack of BFS orders (nested gaps share
+	// the buffer with stack discipline).
+	orderBuf  []int32
+	reachSeen stamped
+
+	// completion scratch
+	accAll   stamped
+	dstamp   stamped
+	dist     []int32
+	parent   []int32
+	gplabel  []byte
+	inQueue  []int32
+	gvs      []int32
+	gls      []byte
+	gapSpans []gapSpan
+	avs      []int
+	als      []byte
+}
+
+var seqSearcherPool = sync.Pool{New: func() any { return new(seqSearcher) }}
+
+// acquireSeqSearcher readies a pooled searcher for one (g, seq, x, y)
+// query: plan from the memo cache, CSR snapshot from the graph, scratch
+// grown in place, co-reachability table recomputed (it depends on g and
+// y).
+func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, x, y int, shortest bool) *seqSearcher {
+	ss := seqSearcherPool.Get().(*seqSearcher)
+	ss.g = g
+	ss.csr = g.Freeze()
+	ss.n = ss.csr.NumVertices()
+	ss.x, ss.y = x, y
+	ss.shortest = shortest
+	ss.plan = planFor(seq)
+	ss.units = ss.plan.units
+	ss.found, ss.done = false, false
+	ss.best = nil
+	if cap(ss.used) < ss.n {
+		ss.used = make([]bool, ss.n)
+	} else {
+		// The push/pop discipline leaves the slice all-false after every
+		// run, so reuse needs no clearing.
+		ss.used = ss.used[:ss.n]
+	}
+	if cap(ss.dist) < ss.n {
+		ss.dist = make([]int32, ss.n)
+		ss.parent = make([]int32, ss.n)
+		ss.gplabel = make([]byte, ss.n)
+	}
+	ss.dist = ss.dist[:ss.n]
+	ss.parent = ss.parent[:ss.n]
+	ss.gplabel = ss.gplabel[:ss.n]
+	ss.skel = ss.skel[:0]
+	ss.gaps = ss.gaps[:0]
+	ss.orderBuf = ss.orderBuf[:0]
+	ss.computeCoReach()
+	return ss
+}
+
+func (ss *seqSearcher) release() {
+	ss.g = nil
+	ss.csr = nil
+	ss.plan = nil
+	ss.units = nil
+	ss.best = nil
+	seqSearcherPool.Put(ss)
+}
+
 // computeCoReach marks the (vertex, position) pairs from which the
 // remaining sequence can still be matched by some walk to y (ignoring
-// simplicity) — the pruning oracle.
-func (ss *seqSearcher) computeCoReach(ef *automaton.NFA) []bool {
-	nV := ss.g.NumVertices()
-	out := make([]bool, nV*ef.NumStates)
-	// Reverse NFA adjacency by label.
-	type rev struct {
-		from  int
-		label byte
-	}
-	rnfa := make([][]rev, ef.NumStates)
-	for q := 0; q < ef.NumStates; q++ {
-		for _, e := range ef.Edges[q] {
-			rnfa[e.To] = append(rnfa[e.To], rev{from: q, label: e.Label})
-		}
-	}
-	var queue []int
-	for s := 0; s < ef.NumStates; s++ {
-		if ef.Accept[s] {
-			id := ss.y*ef.NumStates + s
-			out[id] = true
-			queue = append(queue, id)
+// simplicity) — the pruning oracle. The backward BFS walks the plan's
+// precomputed reverse NFA arcs against the CSR's label-bucketed
+// in-edges.
+func (ss *seqSearcher) computeCoReach() {
+	pc := ss.plan.posCount
+	ss.coreach.reset(ss.n * pc)
+	queue := ss.queue[:0]
+	for _, s := range ss.plan.accepts {
+		id := ss.y*pc + int(s)
+		if !ss.coreach.has(id) {
+			ss.coreach.add(id)
+			queue = append(queue, int32(id))
 		}
 	}
 	for at := 0; at < len(queue); at++ {
-		id := queue[at]
-		v, s := id/ef.NumStates, id%ef.NumStates
-		for _, ge := range ss.g.InEdges(v) {
-			for _, re := range rnfa[s] {
-				if re.label != ge.Label {
-					continue
-				}
-				pid := ge.From*ef.NumStates + re.from
-				if !out[pid] {
-					out[pid] = true
-					queue = append(queue, pid)
+		id := int(queue[at])
+		v, s := id/pc, id%pc
+		for _, arc := range ss.plan.rnfa[s] {
+			lid := ss.csr.LabelID(arc.label)
+			if lid < 0 {
+				continue
+			}
+			for _, u := range ss.csr.InWithID(v, lid) {
+				pid := int(u)*pc + int(arc.from)
+				if !ss.coreach.has(pid) {
+					ss.coreach.add(pid)
+					queue = append(queue, int32(pid))
 				}
 			}
 		}
 	}
-	return out
+	ss.queue = queue
 }
 
 func (ss *seqSearcher) ok(v, pos int) bool {
-	return ss.coreach[v*ss.posCount+pos]
+	return ss.coreach.has(v*ss.plan.posCount + pos)
 }
 
 func (ss *seqSearcher) run() Result {
-	if !ss.ok(ss.x, ss.startPos) {
+	if !ss.ok(ss.x, ss.plan.startPos) {
 		return Result{}
 	}
 	ss.used[ss.x] = true
 	ss.unitStart(0, ss.x)
+	ss.used[ss.x] = false
 	if ss.found {
 		return Result{Found: true, Path: ss.best}
 	}
@@ -304,13 +409,15 @@ func (ss *seqSearcher) walkWord(ui, j, v int) {
 		ss.unitStart(ui+1, v)
 		return
 	}
-	for _, e := range ss.g.OutEdges(v) {
-		if e.Label != u.w[j] || ss.used[e.To] || !ss.ok(e.To, u.wordStates[j+1]) {
+	label := u.w[j]
+	for _, to32 := range ss.csr.OutWith(v, label) {
+		to := int(to32)
+		if ss.used[to] || !ss.ok(to, u.wordStates[j+1]) {
 			continue
 		}
-		ss.push(e)
-		ss.walkWord(ui, j+1, e.To)
-		ss.pop(e)
+		ss.push(label, to)
+		ss.walkWord(ui, j+1, to)
+		ss.pop(to)
 		if ss.done {
 			return
 		}
@@ -328,19 +435,20 @@ func (ss *seqSearcher) walkGapExplicit(ui, remaining, consumed, v int) {
 		ss.unitStart(ui+1, v)
 		return
 	}
-	for _, e := range ss.g.OutEdges(v) {
-		if !u.a.Contains(e.Label) || ss.used[e.To] {
-			continue
-		}
-		next := consumed + 1
-		if !ss.ok(e.To, ss.gapPos(u, next)) {
-			continue
-		}
-		ss.push(e)
-		ss.walkGapExplicit(ui, remaining-1, next, e.To)
-		ss.pop(e)
-		if ss.done {
-			return
+	next := consumed + 1
+	pos := ss.gapPos(u, next)
+	for _, label := range u.a {
+		for _, to32 := range ss.csr.OutWith(v, label) {
+			to := int(to32)
+			if ss.used[to] || !ss.ok(to, pos) {
+				continue
+			}
+			ss.push(label, to)
+			ss.walkGapExplicit(ui, remaining-1, next, to)
+			ss.pop(to)
+			if ss.done {
+				return
+			}
 		}
 	}
 }
@@ -363,29 +471,51 @@ func (ss *seqSearcher) walkGapHead(ui, j, v int) {
 		ss.chooseGapExit(ui, v)
 		return
 	}
-	for _, e := range ss.g.OutEdges(v) {
-		if !u.a.Contains(e.Label) || ss.used[e.To] || !ss.ok(e.To, u.chain[j+1]) {
-			continue
-		}
-		ss.push(e)
-		ss.walkGapHead(ui, j+1, e.To)
-		ss.pop(e)
-		if ss.done {
-			return
+	pos := u.chain[j+1]
+	for _, label := range u.a {
+		for _, to32 := range ss.csr.OutWith(v, label) {
+			to := int(to32)
+			if ss.used[to] || !ss.ok(to, pos) {
+				continue
+			}
+			ss.push(label, to)
+			ss.walkGapHead(ui, j+1, to)
+			ss.pop(to)
+			if ss.done {
+				return
+			}
 		}
 	}
 }
 
 // chooseGapExit enumerates candidate gap exits among vertices reachable
 // from the entry through A-edges (unrestricted — the completion phase
-// applies the real P_i restrictions), nearest first.
+// applies the real P_i restrictions), nearest first. The BFS order is
+// stacked on orderBuf so nested gaps can enumerate concurrently.
 func (ss *seqSearcher) chooseGapExit(ui, entry int) {
 	u := &ss.units[ui]
-	order := ss.aReach(u.a, entry)
-	for _, exit := range order {
-		if ss.done {
-			return
+	base := len(ss.orderBuf)
+	ss.reachSeen.reset(ss.n)
+	ss.reachSeen.add(entry)
+	ss.orderBuf = append(ss.orderBuf, int32(entry))
+	for at := base; at < len(ss.orderBuf); at++ {
+		v := int(ss.orderBuf[at])
+		for _, label := range u.a {
+			for _, to32 := range ss.csr.OutWith(v, label) {
+				to := int(to32)
+				if !ss.reachSeen.has(to) {
+					ss.reachSeen.add(to)
+					ss.orderBuf = append(ss.orderBuf, int32(to))
+				}
+			}
 		}
+	}
+	end := len(ss.orderBuf)
+	for i := base; i < end; i++ {
+		if ss.done {
+			break
+		}
+		exit := int(ss.orderBuf[i])
 		if exit != entry && ss.used[exit] {
 			continue
 		}
@@ -405,6 +535,7 @@ func (ss *seqSearcher) chooseGapExit(ui, entry int) {
 		ss.skel = ss.skel[:len(ss.skel)-1]
 		ss.gaps = ss.gaps[:gi]
 	}
+	ss.orderBuf = ss.orderBuf[:base]
 }
 
 func (ss *seqSearcher) walkGapTail(ui, j, v int) {
@@ -416,149 +547,143 @@ func (ss *seqSearcher) walkGapTail(ui, j, v int) {
 		ss.unitStart(ui+1, v)
 		return
 	}
-	for _, e := range ss.g.OutEdges(v) {
-		if !u.a.Contains(e.Label) || ss.used[e.To] || !ss.ok(e.To, u.loop) {
-			continue
-		}
-		ss.push(e)
-		ss.walkGapTail(ui, j+1, e.To)
-		ss.pop(e)
-		if ss.done {
-			return
-		}
-	}
-}
-
-func (ss *seqSearcher) push(e graph.Edge) {
-	ss.used[e.To] = true
-	ss.skel = append(ss.skel, skelElem{label: e.Label, to: e.To})
-}
-
-func (ss *seqSearcher) pop(e graph.Edge) {
-	ss.used[e.To] = false
-	ss.skel = ss.skel[:len(ss.skel)-1]
-}
-
-// aReach lists the vertices reachable from v through edges labeled in
-// a, in BFS order (v first).
-func (ss *seqSearcher) aReach(a automaton.Alphabet, v int) []int {
-	seen := make([]bool, ss.g.NumVertices())
-	seen[v] = true
-	order := []int{v}
-	for at := 0; at < len(order); at++ {
-		for _, e := range ss.g.OutEdges(order[at]) {
-			if a.Contains(e.Label) && !seen[e.To] {
-				seen[e.To] = true
-				order = append(order, e.To)
+	for _, label := range u.a {
+		for _, to32 := range ss.csr.OutWith(v, label) {
+			to := int(to32)
+			if ss.used[to] || !ss.ok(to, u.loop) {
+				continue
+			}
+			ss.push(label, to)
+			ss.walkGapTail(ui, j+1, to)
+			ss.pop(to)
+			if ss.done {
+				return
 			}
 		}
 	}
-	return order
+}
+
+func (ss *seqSearcher) push(label byte, to int) {
+	ss.used[to] = true
+	ss.skel = append(ss.skel, skelElem{label: label, to: to})
+}
+
+func (ss *seqSearcher) pop(to int) {
+	ss.used[to] = false
+	ss.skel = ss.skel[:len(ss.skel)-1]
 }
 
 // complete attempts to complete the current skeleton into a nice path,
 // per Definition 4: gaps are filled in path order with shortest
 // restricted paths; acc balls accumulate and later gaps must avoid
-// them.
+// them. Everything runs in the searcher's scratch; the only allocation
+// is the witness path when the completion wins.
 func (ss *seqSearcher) complete() {
-	n := ss.g.NumVertices()
-	for i := range ss.accAll {
-		ss.accAll[i] = false
-	}
-	gapPaths := make([]*graph.Path, len(ss.gaps))
-	for gi, gp := range ss.gaps {
-		if ss.accAll[gp.entry] || ss.accAll[gp.exit] {
+	ss.accAll.reset(ss.n)
+	ss.gvs = ss.gvs[:0]
+	ss.gls = ss.gls[:0]
+	ss.gapSpans = ss.gapSpans[:0]
+	for _, gp := range ss.gaps {
+		if ss.accAll.has(gp.entry) || ss.accAll.has(gp.exit) {
 			return
 		}
 		// Restricted BFS from entry over gp.a-edges avoiding skeleton
 		// vertices (except entry, exit) and earlier acc balls.
-		for i := 0; i < n; i++ {
-			ss.dist[i] = -1
-		}
+		ss.dstamp.reset(ss.n)
+		ss.dstamp.add(gp.entry)
 		ss.dist[gp.entry] = 0
 		ss.parent[gp.entry] = -1
 		ss.inQueue = ss.inQueue[:0]
-		ss.inQueue = append(ss.inQueue, gp.entry)
+		ss.inQueue = append(ss.inQueue, int32(gp.entry))
 		for at := 0; at < len(ss.inQueue); at++ {
-			v := ss.inQueue[at]
-			for _, e := range ss.g.OutEdges(v) {
-				t := e.To
-				if !gp.a.Contains(e.Label) || ss.dist[t] >= 0 {
-					continue
+			v := int(ss.inQueue[at])
+			for _, label := range gp.a {
+				for _, to32 := range ss.csr.OutWith(v, label) {
+					t := int(to32)
+					if ss.dstamp.has(t) || ss.accAll.has(t) {
+						continue
+					}
+					if (ss.used[t] || t == ss.x) && t != gp.exit && t != gp.entry {
+						continue
+					}
+					ss.dstamp.add(t)
+					ss.dist[t] = ss.dist[v] + 1
+					ss.parent[t] = int32(v)
+					ss.gplabel[t] = label
+					ss.inQueue = append(ss.inQueue, int32(t))
 				}
-				if ss.accAll[t] {
-					continue
-				}
-				if (ss.used[t] || t == ss.x) && t != gp.exit && t != gp.entry {
-					continue
-				}
-				ss.dist[t] = ss.dist[v] + 1
-				ss.parent[t] = v
-				ss.inQueue = append(ss.inQueue, t)
 			}
 		}
-		target := ss.dist[gp.exit]
-		if target < 0 {
+		if !ss.dstamp.has(gp.exit) {
 			return
 		}
+		target := ss.dist[gp.exit]
 		// acc(i): the ball of radius length_i.
 		for _, v := range ss.inQueue {
 			if ss.dist[v] <= target {
-				ss.accAll[v] = true
+				ss.accAll.add(int(v))
 			}
 		}
-		// Reconstruct the gap path (labels recovered per step).
-		var vs []int
-		for v := gp.exit; v >= 0; v = ss.parent[v] {
-			vs = append(vs, v)
+		// Record the gap path (exit back to entry, then reversed in
+		// place); labels were remembered during the BFS.
+		sp := gapSpan{v0: int32(len(ss.gvs)), l0: int32(len(ss.gls))}
+		for v := gp.exit; ; {
+			ss.gvs = append(ss.gvs, int32(v))
 			if v == gp.entry {
 				break
 			}
+			ss.gls = append(ss.gls, ss.gplabel[v])
+			v = int(ss.parent[v])
 		}
-		reverseInts(vs)
-		ls := make([]byte, 0, len(vs)-1)
-		for i := 0; i+1 < len(vs); i++ {
-			lbl, ok := gapEdgeLabel(ss.g, vs[i], vs[i+1], gp.a)
-			if !ok {
-				return
-			}
-			ls = append(ls, lbl)
-		}
-		gapPaths[gi] = &graph.Path{Vertices: vs, Labels: ls}
+		sp.v1 = int32(len(ss.gvs))
+		sp.l1 = int32(len(ss.gls))
+		slices.Reverse(ss.gvs[sp.v0:sp.v1])
+		slices.Reverse(ss.gls[sp.l0:sp.l1])
+		ss.gapSpans = append(ss.gapSpans, sp)
 	}
 
-	// Assemble the full path.
-	full := graph.PathAt(ss.x)
+	// Assemble the full path into the flat scratch buffers.
+	avs := ss.avs[:0]
+	als := ss.als[:0]
+	avs = append(avs, ss.x)
 	for _, el := range ss.skel {
 		if el.isGap {
-			joined, err := full.Concat(gapPaths[el.gapIdx])
-			if err != nil {
+			sp := ss.gapSpans[el.gapIdx]
+			seg := ss.gvs[sp.v0:sp.v1]
+			if int(seg[0]) != avs[len(avs)-1] {
+				ss.avs, ss.als = avs, als
 				return
 			}
-			full = joined
+			for _, v := range seg[1:] {
+				avs = append(avs, int(v))
+			}
+			als = append(als, ss.gls[sp.l0:sp.l1]...)
 		} else {
-			full = full.Append(el.label, el.to)
+			avs = append(avs, el.to)
+			als = append(als, el.label)
 		}
 	}
+	ss.avs, ss.als = avs, als
 	// Lemma 15's final check: the completion must be a simple path (it
 	// is by construction; verify defensively).
-	if !full.IsSimple() || full.Source() != ss.x || full.Target() != ss.y {
+	if avs[len(avs)-1] != ss.y {
 		return
 	}
-	if !ss.found || full.Len() < ss.best.Len() {
+	ss.dstamp.reset(ss.n)
+	for _, v := range avs {
+		if ss.dstamp.has(v) {
+			return
+		}
+		ss.dstamp.add(v)
+	}
+	if !ss.found || len(als) < ss.best.Len() {
 		ss.found = true
-		ss.best = full
+		ss.best = &graph.Path{
+			Vertices: append([]int(nil), avs...),
+			Labels:   append([]byte(nil), als...),
+		}
 	}
 	if !ss.shortest {
 		ss.done = true
 	}
-}
-
-func gapEdgeLabel(g *graph.Graph, from, to int, a automaton.Alphabet) (byte, bool) {
-	for _, e := range g.OutEdges(from) {
-		if e.To == to && a.Contains(e.Label) {
-			return e.Label, true
-		}
-	}
-	return 0, false
 }

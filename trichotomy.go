@@ -26,6 +26,26 @@
 //	g.AddEdge(2, 'b', 3)
 //	lang, _ := trichotomy.Compile("a*(bb+|())c*")
 //	res := lang.Solve(g, 0, 3)   // Found=true, Path spelling "abb"
+//
+// # Build-then-freeze lifecycle
+//
+// The engine is organized around immutable, query-optimized indexes
+// built once and reused by every query:
+//
+//   - Graphs follow a build-then-freeze lifecycle: construct with
+//     AddVertex/AddEdge, then query. The first query freezes the graph
+//     into a label-indexed CSR snapshot (contiguous per-label adjacency
+//     in both directions) and caches the alphabet and acyclicity
+//     verdicts; any later mutation invalidates the caches and the next
+//     query re-freezes. Call Language.Warm(g) after construction to
+//     freeze eagerly — required before querying one graph from many
+//     goroutines, optional otherwise.
+//   - Compile precomputes everything language-side: the minimal DFA,
+//     its reverse-transition index, the sorted word list of finite
+//     languages, and the memoized Ψtr evaluation plans.
+//   - All search scratch (visited sets, BFS queues, distance and parent
+//     arrays) is epoch-stamped and pooled, so steady-state queries on a
+//     warm Language are allocation-free apart from the witness path.
 package trichotomy
 
 import (
@@ -133,6 +153,12 @@ func (l *Language) HardnessWitness() string {
 
 // Member reports whether the word belongs to the language.
 func (l *Language) Member(word string) bool { return l.solver.Min.Member(word) }
+
+// Warm eagerly builds the graph-side query indexes (the CSR snapshot
+// and dispatch caches) that the first query would otherwise build
+// lazily. Call it after graph construction when g will be queried from
+// multiple goroutines; single-goroutine use may skip it.
+func (l *Language) Warm(g *Graph) { l.solver.Warm(g) }
 
 // Solve answers RSPQ(L): is there a simple L-labeled path from x to y?
 // The evaluation strategy follows the trichotomy (finite search,
