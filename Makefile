@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build vet test bench bench-smoke bench-json
+.PHONY: check build vet test race bench bench-smoke bench-json
 
-check: build vet test
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/rspq/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

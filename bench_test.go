@@ -300,6 +300,65 @@ func BenchmarkE12Subword(b *testing.B) {
 	})
 }
 
+// batchWorkload builds the grouped-by-target pair set the batch engine
+// is designed for: `targets` distinct targets, `sources` sources each.
+func batchWorkload(n, targets, sources int, seed int64) []rspq.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]rspq.Pair, 0, targets*sources)
+	for t := 0; t < targets; t++ {
+		y := rng.Intn(n)
+		for s := 0; s < sources; s++ {
+			pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+		}
+	}
+	return pairs
+}
+
+// BenchmarkBatch compares the batched engine (shared per-target tables
+// + worker pool) against the equivalent per-query Solve loop, per
+// dispatcher tier. One benchmark op answers the whole workload.
+func BenchmarkBatch(b *testing.B) {
+	cases := []struct {
+		name    string
+		pattern string
+		g       *graph.Graph
+	}{
+		{"summary/n=400", "a*(bb+|())c*", graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 400)},
+		{"subword/n=400", "a*c*", graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 12)},
+		{"baseline/n=400", "a*bba*", graph.Random(400, []byte{'a', 'b'}, 0.006, 21)},
+		{"dag/24x20", "(a|b)*a(a|b)*", graph.LayeredDAG(24, 20, 3, []byte{'a', 'b'}, 5)},
+	}
+	for _, c := range cases {
+		s, err := rspq.NewSolver(c.pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs := rspq.NewBatchSolver(s, c.g)
+		pairs := batchWorkload(c.g.NumVertices(), 8, 32, 7)
+		b.Run(c.name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bs.Solve(pairs)
+			}
+		})
+		b.Run(c.name+"/batch-1worker", func(b *testing.B) {
+			b.ReportAllocs()
+			one := rspq.NewBatchSolver(s, c.g).SetWorkers(1)
+			for i := 0; i < b.N; i++ {
+				one.Solve(pairs)
+			}
+		})
+		b.Run(c.name+"/perquery", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, pq := range pairs {
+					s.Solve(c.g, pq.X, pq.Y)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompile measures end-to-end language compilation (parse,
 // determinize, minimize, classify, extract witness, normalize).
 func BenchmarkCompile(b *testing.B) {

@@ -84,6 +84,26 @@ func benchWorkloads() []struct {
 	fig4 := graph.NewFigure4(8)
 	hard.Warm(fig4.G)
 
+	// Grouped-by-target batch workloads: 8 targets × 32 sources, the
+	// shape whose y-side tables the batch engine shares.
+	batchPairs := func(n int, seed int64) []rspq.Pair {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := make([]rspq.Pair, 0, 8*32)
+		for t := 0; t < 8; t++ {
+			y := rng.Intn(n)
+			for s := 0; s < 32; s++ {
+				pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+			}
+		}
+		return pairs
+	}
+	summaryBatch := rspq.NewBatchSolver(summary, summaryG)
+	summaryPairs := batchPairs(400, 7)
+	np := mustSolver("a*bba*")
+	npG := graph.Random(400, []byte{'a', 'b'}, 0.006, 21)
+	npBatch := rspq.NewBatchSolver(np, npG)
+	npPairs := batchPairs(400, 7)
+
 	return []struct {
 		name string
 		fn   func(b *testing.B)
@@ -126,6 +146,30 @@ func benchWorkloads() []struct {
 			rng := rand.New(rand.NewSource(9))
 			for i := 0; i < b.N; i++ {
 				finite.Solve(finiteG, rng.Intn(200), rng.Intn(200))
+			}
+		}},
+		{"batch-summary/256q-8t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				summaryBatch.Solve(summaryPairs)
+			}
+		}},
+		{"perquery-summary/256q-8t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, pq := range summaryPairs {
+					summary.Solve(summaryG, pq.X, pq.Y)
+				}
+			}
+		}},
+		{"batch-baseline/256q-8t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				npBatch.Solve(npPairs)
+			}
+		}},
+		{"perquery-baseline/256q-8t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, pq := range npPairs {
+					np.Solve(npG, pq.X, pq.Y)
+				}
 			}
 		}},
 	}

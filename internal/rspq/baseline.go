@@ -88,14 +88,26 @@ func (b *bsearch) witness() Result {
 // NP-complete outside trC); complete and sound for every language.
 // stats may be nil.
 func Baseline(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
-	a := getArena()
-	defer a.release()
-	b := bsearch{p: makeProduct(g, d, a), a: a, d: d, y: y, limit: -1, stats: stats}
-	b.p.coReach(y, a)
-	if !a.co.has(b.p.id(x, d.Start)) {
+	if !validPair(g.NumVertices(), x, y) {
 		return Result{}
 	}
-	a.seen.reset(b.p.n)
+	a := getArena()
+	defer a.release()
+	p := makeProduct(g, d, a)
+	p.coReach(y, a)
+	return baselineFrom(&p, a, d, x, y, stats)
+}
+
+// baselineFrom runs one pruned backtracking search against the
+// co-reachability table already sitting in a.co (computed by coReach
+// for target y). The table depends only on y, so batched queries
+// sharing a target call this once per source over one table.
+func baselineFrom(p *product, a *arena, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
+	b := bsearch{p: *p, a: a, d: d, y: y, limit: -1, stats: stats}
+	if !a.co.has(p.id(x, d.Start)) {
+		return Result{}
+	}
+	a.seen.reset(p.n)
 	a.seen.add(x)
 	b.vs = append(a.vs[:0], x)
 	b.ls = a.ls[:0]
@@ -111,6 +123,9 @@ func Baseline(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) 
 // product distance to the goal provides an admissible lower bound, so
 // the first depth at which a path appears is optimal.
 func BaselineShortest(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
+	if !validPair(g.NumVertices(), x, y) {
+		return Result{}
+	}
 	a := getArena()
 	defer a.release()
 	b := bsearch{p: makeProduct(g, d, a), a: a, d: d, y: y, stats: stats}

@@ -1,0 +1,242 @@
+package rspq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file implements the batched query engine. The observation behind
+// it: every product-based tier prunes (or outright answers) with a table
+// that depends only on the TARGET of the query — coReach for the
+// exponential baseline, the backward product BFS (distToGoal) for the
+// walk-reduction tiers, the position-NFA co-reachability table for the
+// Ψtr summary solver. A workload of many (x, y) pairs over one language
+// therefore groups naturally by y: the y-side table is computed once per
+// group and every source in the group is answered against it.
+//
+// Groups are independent, so they fan out over a worker pool sized to
+// GOMAXPROCS. Each worker owns one pooled arena for its whole shift and
+// the summary tier reuses one pooled seqSearcher per (sequence, target),
+// so steady-state batches stay near the per-query engine's
+// zero-allocation contract: the remaining allocations are the witness
+// paths and the per-batch grouping index.
+
+// Pair is one (source, target) query of a batch.
+type Pair struct {
+	X, Y int
+}
+
+// BatchSolver answers many RSPQ(L) queries on one frozen graph with
+// shared per-target tables. Build it once per (solver, graph) pair and
+// call Solve with arbitrarily many batches; it is safe for concurrent
+// use by multiple goroutines (construction warms the graph-side
+// indexes).
+type BatchSolver struct {
+	s       *Solver
+	g       *graph.Graph
+	workers atomic.Int32 // pool size; atomic so SetWorkers may race with Solve
+}
+
+// NewBatchSolver readies a batch engine for s's language on g. It
+// freezes g's query indexes eagerly (Solver.Warm), so the returned
+// engine — and any other queries on g — may be used from many
+// goroutines.
+func NewBatchSolver(s *Solver, g *graph.Graph) *BatchSolver {
+	s.Warm(g)
+	bs := &BatchSolver{s: s, g: g}
+	bs.workers.Store(int32(runtime.GOMAXPROCS(0)))
+	return bs
+}
+
+// SetWorkers overrides the worker-pool size; n < 1 restores the default
+// (GOMAXPROCS). It returns the receiver for chaining and may be called
+// concurrently with Solve (in-flight batches keep the size they read).
+func (bs *BatchSolver) SetWorkers(n int) *BatchSolver {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	bs.workers.Store(int32(n))
+	return bs
+}
+
+// BatchSolve answers pairs on g with shared per-target tables; it is
+// the one-shot convenience over NewBatchSolver(s, g).Solve(pairs).
+func (s *Solver) BatchSolve(g *graph.Graph, pairs []Pair) []Result {
+	return NewBatchSolver(s, g).Solve(pairs)
+}
+
+// batchGroup collects the sources querying one shared target, with
+// their positions in the caller's pairs slice.
+type batchGroup struct {
+	y   int
+	xs  []int
+	idx []int
+}
+
+// Solve answers every pair, in order: out[i] is the answer to pairs[i].
+// Pairs with out-of-range vertex ids get Result{Found: false}, exactly
+// like the per-query surface. Queries are grouped by target so each
+// group shares its y-side table, and groups run on the worker pool.
+func (bs *BatchSolver) Solve(pairs []Pair) []Result {
+	out := make([]Result, len(pairs))
+	n := bs.g.NumVertices()
+	var groups []batchGroup
+	pos := make(map[int]int)
+	for i, pq := range pairs {
+		if !validPair(n, pq.X, pq.Y) {
+			continue // out[i] stays Found=false
+		}
+		gi, ok := pos[pq.Y]
+		if !ok {
+			gi = len(groups)
+			pos[pq.Y] = gi
+			groups = append(groups, batchGroup{y: pq.Y})
+		}
+		groups[gi].xs = append(groups[gi].xs, pq.X)
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+	if len(groups) == 0 {
+		return out
+	}
+
+	algo := bs.s.ChooseAlgorithm(bs.g)
+	workers := int(bs.workers.Load())
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		a := getArena()
+		for gi := range groups {
+			bs.solveGroup(algo, &groups[gi], out, a)
+		}
+		a.release()
+		return out
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := getArena() // one arena per worker, for its whole shift
+			defer a.release()
+			for gi := range work {
+				bs.solveGroup(algo, &groups[gi], out, a)
+			}
+		}()
+	}
+	for gi := range groups {
+		work <- gi
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// solveGroup answers one target group on the tier algo, writing into
+// the disjoint out slots named by grp.idx. Every tier of the dispatcher
+// has a batch entry point below; the finite tier has no y-side table to
+// share and simply loops its per-query search.
+func (bs *BatchSolver) solveGroup(algo Algorithm, grp *batchGroup, out []Result, a *arena) {
+	switch algo {
+	case AlgoFinite:
+		bs.batchFinite(grp, out)
+	case AlgoSubword:
+		bs.batchSubword(grp, out, a)
+	case AlgoDAG:
+		bs.batchDAG(grp, out, a)
+	case AlgoSummary:
+		if bs.s.Expr == nil {
+			bs.batchBaseline(grp, out, a)
+			return
+		}
+		bs.batchSummary(grp, out)
+	default:
+		bs.batchBaseline(grp, out, a)
+	}
+}
+
+// batchFinite loops the AC⁰-tier word search: it is already
+// target-light (each word probe is a bounded DFS from x), so there is
+// no table worth sharing across the group.
+func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result) {
+	for j, x := range grp.xs {
+		if bs.s.words != nil {
+			out[grp.idx[j]] = finiteWithWords(bs.g, bs.s.words, x, grp.y)
+		} else {
+			out[grp.idx[j]] = Finite(bs.g, bs.s.Min, x, grp.y)
+		}
+	}
+}
+
+// batchSubword shares one backward product BFS from the target across
+// the whole group: the walk-reduction answer for every source is read
+// off the successor links in O(walk length), then made simple by loop
+// removal exactly like the per-query Subword path.
+func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, a *arena) {
+	p := makeProduct(bs.g, bs.s.Min, a)
+	p.distToGoal(grp.y, a)
+	for j, x := range grp.xs {
+		walk := p.sharedWalkFrom(a, x)
+		if walk == nil {
+			continue
+		}
+		simple := walk.RemoveLoops()
+		if !bs.s.Min.Member(simple.Word()) {
+			// Cannot happen for genuinely subword-closed languages;
+			// guard against misuse like Subword does.
+			continue
+		}
+		out[grp.idx[j]] = Result{Found: true, Path: simple}
+	}
+}
+
+// batchDAG shares the same backward product BFS on acyclic inputs,
+// where every walk is already simple (Theorem 8's collapse to RPQ).
+func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, a *arena) {
+	p := makeProduct(bs.g, bs.s.Min, a)
+	p.distToGoal(grp.y, a)
+	for j, x := range grp.xs {
+		if walk := p.sharedWalkFrom(a, x); walk != nil {
+			out[grp.idx[j]] = Result{Found: true, Path: walk}
+		}
+	}
+}
+
+// batchSummary shares each Ψtr sequence's position-NFA co-reachability
+// table (which depends only on g and y) across the group: one pooled
+// seqSearcher is acquired per (sequence, target) and run once per
+// source that is still unanswered.
+func (bs *BatchSolver) batchSummary(grp *batchGroup, out []Result) {
+	remaining := len(grp.xs)
+	for _, seq := range bs.s.Expr.Seqs {
+		if remaining == 0 {
+			return // skip later sequences' co-reachability builds
+		}
+		ss := acquireSeqSearcher(bs.g, seq, grp.y, false)
+		for j, x := range grp.xs {
+			if out[grp.idx[j]].Found {
+				continue
+			}
+			if res := ss.run(x); res.Found {
+				out[grp.idx[j]] = res
+				remaining--
+			}
+		}
+		ss.release()
+	}
+}
+
+// batchBaseline computes the exponential tier's co-reachability pruning
+// table once per target and backtracks per source against it.
+func (bs *BatchSolver) batchBaseline(grp *batchGroup, out []Result, a *arena) {
+	p := makeProduct(bs.g, bs.s.Min, a)
+	p.coReach(grp.y, a)
+	for j, x := range grp.xs {
+		out[grp.idx[j]] = baselineFrom(&p, a, bs.s.Min, x, grp.y, nil)
+	}
+}

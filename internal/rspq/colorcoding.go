@@ -30,7 +30,7 @@ type ColorCodingOptions struct {
 // A Found=true answer carries a verified witness path. Found=false is
 // correct with probability ≥ 1-FailureProb (one-sided Monte Carlo).
 func ColorCoding(g *graph.Graph, d *automaton.DFA, x, y, k int, opts ColorCodingOptions) Result {
-	if k < 0 {
+	if k < 0 || !validPair(g.NumVertices(), x, y) {
 		return Result{}
 	}
 	if x == y {

@@ -1,0 +1,197 @@
+package rspq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file is the edge-case/property sweep of the query surface:
+// degenerate graph shapes (single vertex, isolated vertices, no edges)
+// and degenerate queries (x == y, with and without ε in L) probed on
+// every applicable algorithm, with the exponential baseline as ground
+// truth. The out-of-range cases live in bounds_test.go.
+
+// sweepPatterns spans the trichotomy: ε-only, finite with ε, finite
+// without ε, subword-closed, summary-tier, NP-tier.
+var sweepPatterns = []string{
+	"()",           // L = {ε}
+	"ab|()",        // finite, ε ∈ L
+	"ab|ba|aab",    // finite, ε ∉ L
+	"a*c*",         // subword-closed, ε ∈ L
+	"a*(bb+|())c*", // summary tier, ε ∈ L
+	"a*bba*",       // NP tier, ε ∉ L
+	"(aa)*",        // NP tier, ε ∈ L
+}
+
+// soundAlgosFor lists the algorithms whose answer must exactly equal
+// the baseline's for this solver on this graph (Naive is incomplete by
+// design and AlgoWalk answers a different problem, so neither is
+// included; Subword/Summary/Finite are claimed only on languages the
+// dispatcher would route to them).
+func soundAlgosFor(s *Solver, g *graph.Graph) []Algorithm {
+	algos := []Algorithm{AlgoAuto, AlgoBaseline}
+	if s.Classification.Finite {
+		algos = append(algos, AlgoFinite)
+	}
+	if s.SubwordClosed {
+		algos = append(algos, AlgoSubword)
+	}
+	if s.Classification.Tractable && s.Expr != nil {
+		algos = append(algos, AlgoSummary)
+	}
+	if g.IsAcyclic() {
+		algos = append(algos, AlgoDAG)
+	}
+	return algos
+}
+
+// checkAllAlgos asserts every sound algorithm agrees with the baseline
+// on (x, y) and produces a verifiable witness.
+func checkAllAlgos(t *testing.T, s *Solver, g *graph.Graph, x, y int, label string) {
+	t.Helper()
+	want := Baseline(g, s.Min, x, y, nil)
+	if !VerifyWitness(want, g, s.Min, x, y) {
+		t.Fatalf("%s: baseline witness invalid for (%d,%d)", label, x, y)
+	}
+	for _, algo := range soundAlgosFor(s, g) {
+		got := s.SolveWith(g, x, y, algo)
+		if got.Found != want.Found {
+			t.Errorf("%s: algo %v on (%d,%d): got %v, baseline %v", label, algo, x, y, got.Found, want.Found)
+		}
+		if !VerifyWitness(got, g, s.Min, x, y) {
+			t.Errorf("%s: algo %v on (%d,%d): invalid witness %v", label, algo, x, y, got.Path)
+		}
+	}
+	// Shortest must agree on existence and never beat the baseline's
+	// optimum.
+	short := s.Shortest(g, x, y)
+	if short.Found != want.Found {
+		t.Errorf("%s: Shortest on (%d,%d): got %v, baseline %v", label, x, y, short.Found, want.Found)
+	}
+	if short.Found {
+		opt := BaselineShortest(g, s.Min, x, y, nil)
+		if !VerifyWitness(short, g, s.Min, x, y) {
+			t.Errorf("%s: Shortest witness invalid for (%d,%d)", label, x, y)
+		}
+		if opt.Found && short.Path.Len() != opt.Path.Len() {
+			t.Errorf("%s: Shortest(%d,%d) length %d, optimum %d", label, x, y, short.Path.Len(), opt.Path.Len())
+		}
+	}
+}
+
+// TestSweepSingleVertex: a one-vertex graph with no edges. x == y == 0
+// is answerable iff ε ∈ L.
+func TestSweepSingleVertex(t *testing.T) {
+	g := graph.New(1)
+	for _, pattern := range sweepPatterns {
+		s := mustSolver(t, pattern)
+		res := s.Solve(g, 0, 0)
+		if want := s.Min.Member(""); res.Found != want {
+			t.Errorf("%q: single vertex x==y: got %v, want ε-membership %v", pattern, res.Found, want)
+		}
+		checkAllAlgos(t, s, g, 0, 0, fmt.Sprintf("%q single-vertex", pattern))
+	}
+}
+
+// TestSweepSelfQueries: x == y on vertices of richer graphs, including
+// a vertex sitting on a cycle (a simple path from v to v is still just
+// the empty path — length-0 — since any longer closed walk repeats v).
+func TestSweepSelfQueries(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'a', 0) // cycle 0→1→2→0
+	// vertex 3 isolated
+	for _, pattern := range sweepPatterns {
+		s := mustSolver(t, pattern)
+		hasEps := s.Min.Member("")
+		for v := 0; v < 4; v++ {
+			res := s.Solve(g, v, v)
+			if res.Found != hasEps {
+				t.Errorf("%q: Solve(%d,%d) = %v, want %v (ε-membership)", pattern, v, v, res.Found, hasEps)
+			}
+			if res.Found && res.Path.Len() != 0 {
+				t.Errorf("%q: Solve(%d,%d) returned non-trivial closed path %v", pattern, v, v, res.Path)
+			}
+			checkAllAlgos(t, s, g, v, v, fmt.Sprintf("%q self-query v=%d", pattern, v))
+		}
+	}
+}
+
+// TestSweepIsolatedVertices: queries into, out of, and between vertices
+// with no incident edges must answer NO (unless x == y and ε ∈ L).
+func TestSweepIsolatedVertices(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 'a', 1) // vertices 2,3,4 isolated
+	for _, pattern := range sweepPatterns {
+		s := mustSolver(t, pattern)
+		for _, pq := range [][2]int{{2, 3}, {3, 2}, {0, 4}, {4, 0}, {2, 0}, {1, 2}} {
+			if res := s.Solve(g, pq[0], pq[1]); res.Found {
+				t.Errorf("%q: path %d→%d through isolated vertices: %v", pattern, pq[0], pq[1], res.Path)
+			}
+			checkAllAlgos(t, s, g, pq[0], pq[1], fmt.Sprintf("%q isolated", pattern))
+		}
+	}
+}
+
+// TestSweepEdgelessGraph: several vertices, zero edges.
+func TestSweepEdgelessGraph(t *testing.T) {
+	g := graph.New(3)
+	for _, pattern := range sweepPatterns {
+		s := mustSolver(t, pattern)
+		for x := 0; x < 3; x++ {
+			for y := 0; y < 3; y++ {
+				checkAllAlgos(t, s, g, x, y, fmt.Sprintf("%q edgeless", pattern))
+			}
+		}
+	}
+}
+
+// TestSweepRandomized is the property test: random small graphs (sparse
+// enough to leave isolated vertices and dead ends), all pairs, every
+// sound algorithm against the exponential baseline.
+func TestSweepRandomized(t *testing.T) {
+	for _, pattern := range sweepPatterns {
+		s := mustSolver(t, pattern)
+		for seed := int64(0); seed < 6; seed++ {
+			g := graph.Random(9, []byte{'a', 'b', 'c'}, 0.12, seed*7+1)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 12; i++ {
+				x, y := rng.Intn(9), rng.Intn(9)
+				checkAllAlgos(t, s, g, x, y, fmt.Sprintf("%q seed=%d", pattern, seed))
+			}
+		}
+	}
+}
+
+// TestSweepBatchDegenerate runs the batch engine over the same
+// degenerate shapes, since it has its own dispatch path.
+func TestSweepBatchDegenerate(t *testing.T) {
+	shapes := []*graph.Graph{
+		graph.New(1),
+		graph.New(3),
+		func() *graph.Graph { g := graph.New(5); g.AddEdge(0, 'a', 1); return g }(),
+	}
+	for _, pattern := range sweepPatterns {
+		s := mustSolver(t, pattern)
+		for gi, g := range shapes {
+			n := g.NumVertices()
+			var pairs []Pair
+			for x := 0; x < n; x++ {
+				for y := 0; y < n; y++ {
+					pairs = append(pairs, Pair{X: x, Y: y})
+				}
+			}
+			got := s.BatchSolve(g, pairs)
+			for i, pq := range pairs {
+				want := Baseline(g, s.Min, pq.X, pq.Y, nil)
+				if got[i].Found != want.Found {
+					t.Errorf("%q shape %d pair %v: batch=%v baseline=%v", pattern, gi, pq, got[i].Found, want.Found)
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,9 @@ import (
 // Warm solvers precompute the word list once (see Solver); this entry
 // point re-derives it from the DFA for standalone callers.
 func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
+	if !validPair(g.NumVertices(), x, y) {
+		return Result{}
+	}
 	min := d.Minimize()
 	if !min.IsFinite() {
 		// Guard against misuse; the dispatcher never routes infinite
@@ -127,6 +130,9 @@ func wordPath(g *graph.Graph, w string, x, y int) *graph.Path {
 func DAG(g *graph.Graph, d *automaton.DFA, x, y int) (Result, bool) {
 	if !g.IsAcyclic() {
 		return Result{}, false
+	}
+	if !validPair(g.NumVertices(), x, y) {
+		return Result{}, true
 	}
 	walk := ShortestWalk(g, d, x, y)
 	if walk == nil {

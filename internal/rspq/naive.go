@@ -16,7 +16,7 @@ import (
 // see experiment E5. For subword-closed languages (trC(0)) it happens
 // to be exact, which is the Mendelzon–Wood result; see Subword.
 func Naive(g *graph.Graph, d *automaton.DFA, x, y int) Result {
-	walk := ShortestWalk(g, d, x, y)
+	walk := ShortestWalk(g, d, x, y) // nil for out-of-range x/y too
 	if walk == nil {
 		return Result{}
 	}

@@ -34,6 +34,14 @@ type Result struct {
 	Path  *graph.Path
 }
 
+// validPair reports whether x and y both name vertices of an n-vertex
+// graph. Every query entry point checks it and returns a no-answer
+// (never panics) for out-of-range ids: a server-facing engine must
+// treat an unknown vertex id as "no such path", not as a crash.
+func validPair(n, x, y int) bool {
+	return x >= 0 && x < n && y >= 0 && y < n
+}
+
 // VerifyWitness checks that a result's path really is a simple
 // L(d)-labeled path of g from x to y. Tests use it to make the YES
 // direction of every solver self-checking.
@@ -121,6 +129,11 @@ func (p *product) coReach(y int, a *arena) {
 
 // distToGoal computes product BFS distances to the accepting goal
 // (y, accepting), left in a.dist; entries are valid where a.dst holds.
+// For every reached non-goal node it also records the successor one
+// step closer to the goal (a.parent) and the label of that step
+// (a.plabel), so a shortest walk from ANY source can be read off
+// forward without another search — the basis of the batched walk tiers
+// (see sharedWalkFrom).
 func (p *product) distToGoal(y int, a *arena) {
 	nm := p.n * p.m
 	a.dst.reset(nm)
@@ -147,6 +160,7 @@ func (p *product) distToGoal(y int, a *arena) {
 			if len(preds) == 0 {
 				continue
 			}
+			label := p.csr.Label(lid)
 			for _, u := range p.csr.InWithID(v, lid) {
 				base := int(u) * p.m
 				for _, qp := range preds {
@@ -154,6 +168,8 @@ func (p *product) distToGoal(y int, a *arena) {
 					if !a.dst.has(pid) {
 						a.dst.add(pid)
 						a.dist[pid] = a.dist[id] + 1
+						a.parent[pid] = int32(id)
+						a.plabel[pid] = label
 						queue = append(queue, int32(pid))
 					}
 				}
@@ -172,11 +188,39 @@ func (a *arena) distAt(id int) int32 {
 	return a.dist[id]
 }
 
+// sharedWalkFrom reads a shortest L-labeled walk from x off the
+// successor links left by distToGoal (which depend only on the target
+// y), or nil when no walk exists. Because one backward BFS serves every
+// source, a batch of queries sharing y pays for the product search once
+// and then O(walk length) per query.
+func (p *product) sharedWalkFrom(a *arena, x int) *graph.Path {
+	cur := p.id(x, p.d.Start)
+	if !a.dst.has(cur) {
+		return nil
+	}
+	vs := a.vs[:0]
+	ls := a.ls[:0]
+	vs = append(vs, x)
+	for a.dist[cur] > 0 {
+		ls = append(ls, a.plabel[cur])
+		cur = int(a.parent[cur])
+		vs = append(vs, cur/p.m)
+	}
+	a.vs, a.ls = vs, ls
+	return &graph.Path{
+		Vertices: append([]int(nil), vs...),
+		Labels:   append([]byte(nil), ls...),
+	}
+}
+
 // ShortestWalk returns a shortest (not necessarily simple) L-labeled
 // walk from x to y, or nil: the classical RPQ evaluation via BFS over
 // the product G × A_L. The only allocation on a warm solver is the
 // returned path.
 func ShortestWalk(g *graph.Graph, d *automaton.DFA, x, y int) *graph.Path {
+	if !validPair(g.NumVertices(), x, y) {
+		return nil
+	}
 	a := getArena()
 	defer a.release()
 	goal := walkSearch(g, d, x, y, a)
@@ -249,6 +293,9 @@ func walkSearch(g *graph.Graph, d *automaton.DFA, x, y int, a *arena) int {
 // BFS as ShortestWalk but skips witness reconstruction, so warm calls
 // are allocation-free.
 func ExistsWalk(g *graph.Graph, d *automaton.DFA, x, y int) bool {
+	if !validPair(g.NumVertices(), x, y) {
+		return false
+	}
 	a := getArena()
 	defer a.release()
 	return walkSearch(g, d, x, y, a) >= 0

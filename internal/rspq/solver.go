@@ -145,7 +145,11 @@ func (s *Solver) Solve(g *graph.Graph, x, y int) Result {
 }
 
 // SolveWith forces a specific algorithm; AlgoAuto dispatches.
+// Out-of-range vertex ids yield Result{Found: false}, never a panic.
 func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
+	if !validPair(g.NumVertices(), x, y) {
+		return Result{}
+	}
 	if algo == AlgoAuto {
 		algo = s.ChooseAlgorithm(g)
 	}
@@ -185,6 +189,9 @@ func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
 // Shortest returns a shortest simple L-labeled path from x to y, using
 // the best exact strategy available.
 func (s *Solver) Shortest(g *graph.Graph, x, y int) Result {
+	if !validPair(g.NumVertices(), x, y) {
+		return Result{}
+	}
 	switch {
 	case s.Classification.Finite:
 		if s.words != nil {
@@ -203,7 +210,11 @@ func (s *Solver) Shortest(g *graph.Graph, x, y int) Result {
 	}
 }
 
-// SolveVlg answers the vertex-labeled variant on vg.
+// SolveVlg answers the vertex-labeled variant on vg. Out-of-range
+// vertex ids yield Result{Found: false}, never a panic.
 func (s *Solver) SolveVlg(vg *graph.VGraph, x, y int) Result {
+	if !validPair(vg.NumVertices(), x, y) {
+		return Result{}
+	}
 	return VlgSolve(vg, s.Min, s.Expr, x, y)
 }

@@ -45,10 +45,13 @@ import (
 // summaries and returns a shortest simple L-labeled path (the minimum
 // over nice paths, which Lemma 14 makes globally minimal).
 func SolvePsitr(g *graph.Graph, e *psitr.Expr, x, y int, shortest bool) Result {
+	if !validPair(g.NumVertices(), x, y) {
+		return Result{}
+	}
 	best := Result{}
 	for _, seq := range e.Seqs {
-		ss := acquireSeqSearcher(g, seq, x, y, shortest)
-		res := ss.run()
+		ss := acquireSeqSearcher(g, seq, y, shortest)
+		res := ss.run(x)
 		ss.release()
 		if !res.Found {
 			continue
@@ -269,21 +272,20 @@ type seqSearcher struct {
 
 var seqSearcherPool = sync.Pool{New: func() any { return new(seqSearcher) }}
 
-// acquireSeqSearcher readies a pooled searcher for one (g, seq, x, y)
-// query: plan from the memo cache, CSR snapshot from the graph, scratch
-// grown in place, co-reachability table recomputed (it depends on g and
-// y).
-func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, x, y int, shortest bool) *seqSearcher {
+// acquireSeqSearcher readies a pooled searcher for queries on one
+// (g, seq, y) combination: plan from the memo cache, CSR snapshot from
+// the graph, scratch grown in place, co-reachability table recomputed
+// (it depends only on g and y — NOT on the source x, which is supplied
+// per run call, so batched queries sharing a target reuse the table).
+func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest bool) *seqSearcher {
 	ss := seqSearcherPool.Get().(*seqSearcher)
 	ss.g = g
 	ss.csr = g.Freeze()
 	ss.n = ss.csr.NumVertices()
-	ss.x, ss.y = x, y
+	ss.y = y
 	ss.shortest = shortest
 	ss.plan = planFor(seq)
 	ss.units = ss.plan.units
-	ss.found, ss.done = false, false
-	ss.best = nil
 	if cap(ss.used) < ss.n {
 		ss.used = make([]bool, ss.n)
 	} else {
@@ -299,9 +301,6 @@ func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, x, y int, shortest 
 	ss.dist = ss.dist[:ss.n]
 	ss.parent = ss.parent[:ss.n]
 	ss.gplabel = ss.gplabel[:ss.n]
-	ss.skel = ss.skel[:0]
-	ss.gaps = ss.gaps[:0]
-	ss.orderBuf = ss.orderBuf[:0]
 	ss.computeCoReach()
 	return ss
 }
@@ -355,13 +354,22 @@ func (ss *seqSearcher) ok(v, pos int) bool {
 	return ss.coreach.has(v*ss.plan.posCount + pos)
 }
 
-func (ss *seqSearcher) run() Result {
-	if !ss.ok(ss.x, ss.plan.startPos) {
+// run answers one query from source x against the searcher's shared
+// (g, seq, y) state; it may be called repeatedly on one acquired
+// searcher with different sources.
+func (ss *seqSearcher) run(x int) Result {
+	ss.x = x
+	ss.found, ss.done = false, false
+	ss.best = nil
+	ss.skel = ss.skel[:0]
+	ss.gaps = ss.gaps[:0]
+	ss.orderBuf = ss.orderBuf[:0]
+	if !ss.ok(x, ss.plan.startPos) {
 		return Result{}
 	}
-	ss.used[ss.x] = true
-	ss.unitStart(0, ss.x)
-	ss.used[ss.x] = false
+	ss.used[x] = true
+	ss.unitStart(0, x)
+	ss.used[x] = false
 	if ss.found {
 		return Result{Found: true, Path: ss.best}
 	}

@@ -59,6 +59,9 @@ func LetterSynchronizing(min *automaton.DFA) bool {
 // The db-encoding is the paper's: edge labels are target-vertex labels.
 // expr may be nil when no Ψtr form is available.
 func VlgSolve(vg *graph.VGraph, d *automaton.DFA, expr *PsitrExpr, x, y int) Result {
+	if !validPair(vg.NumVertices(), x, y) {
+		return Result{}
+	}
 	g := vg.ToDBGraph()
 	min := d.Minimize()
 	switch {
@@ -80,6 +83,9 @@ func VlgSolve(vg *graph.VGraph, d *automaton.DFA, expr *PsitrExpr, x, y int) Res
 // vertex" only per vertex-label component, so the letter-synchronizing
 // fast path still applies when the minimal DFA allows it.
 func EvlSolve(ev *graph.EVGraph, d *automaton.DFA, expr *PsitrExpr, x, y int) Result {
+	if !validPair(ev.NumVertices(), x, y) {
+		return Result{}
+	}
 	g := ev.ToDBGraph()
 	min := d.Minimize()
 	switch {

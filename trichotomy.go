@@ -13,6 +13,9 @@
 //   - Compile: regex → classified, query-ready Language;
 //   - Language.Solve / Shortest / SolveVlg: query evaluation dispatched
 //     to the correct algorithm of the trichotomy;
+//   - Language.BatchSolve / NewBatchSolver: batched evaluation of many
+//     (x, y) pairs with shared per-target pruning tables and a
+//     GOMAXPROCS-sized worker pool;
 //   - Language.Classification: the AC⁰ / NL / NP verdict with a
 //     verified hardness witness on the NP side;
 //   - graph construction, generators and serialization re-exported from
@@ -70,6 +73,13 @@ type Path = graph.Path
 
 // Result is a query outcome: Found plus a witness Path.
 type Result = rspq.Result
+
+// Pair is one (source, target) query of a batch.
+type Pair = rspq.Pair
+
+// BatchSolver answers many queries on one graph with shared per-target
+// tables and a worker pool; see Language.NewBatchSolver.
+type BatchSolver = rspq.BatchSolver
 
 // Class is a complexity tier of the trichotomy.
 type Class = core.Class
@@ -168,6 +178,24 @@ func (l *Language) Solve(g *Graph, x, y int) Result { return l.solver.Solve(g, x
 
 // Shortest returns a shortest simple L-labeled path from x to y.
 func (l *Language) Shortest(g *Graph, x, y int) Result { return l.solver.Shortest(g, x, y) }
+
+// BatchSolve answers many (x, y) queries at once. Queries are grouped
+// by target so each group shares its co-reachability / backward-BFS
+// pruning table (those depend only on the target), and groups run on a
+// worker pool sized to GOMAXPROCS. out[i] answers pairs[i];
+// out-of-range vertex ids yield Result{Found: false} like Solve. For
+// repeated batches on one graph, build a BatchSolver once with
+// NewBatchSolver instead.
+func (l *Language) BatchSolve(g *Graph, pairs []Pair) []Result {
+	return l.solver.BatchSolve(g, pairs)
+}
+
+// NewBatchSolver readies a reusable batch engine for this language on
+// g, warming the graph-side indexes eagerly; the returned engine is
+// safe for concurrent use.
+func (l *Language) NewBatchSolver(g *Graph) *BatchSolver {
+	return rspq.NewBatchSolver(l.solver, g)
+}
 
 // SolveWalk answers the classical RPQ (arbitrary walks may repeat
 // vertices); for comparison with simple-path semantics.

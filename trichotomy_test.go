@@ -133,3 +133,57 @@ func TestAlgorithmFor(t *testing.T) {
 		t.Errorf("expected baseline, got %s", algo)
 	}
 }
+
+func TestBatchFacade(t *testing.T) {
+	lang := MustCompile("a*(bb+|())c*")
+	g := NewGraph(5)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 3)
+	g.AddEdge(3, 'c', 4)
+	pairs := []Pair{{X: 0, Y: 4}, {X: 0, Y: 3}, {X: 4, Y: 0}, {X: -1, Y: 2}, {X: 2, Y: 99}}
+	got := lang.BatchSolve(g, pairs)
+	if len(got) != len(pairs) {
+		t.Fatalf("%d results for %d pairs", len(got), len(pairs))
+	}
+	for i, pq := range pairs {
+		want := lang.Solve(g, pq.X, pq.Y)
+		if got[i].Found != want.Found {
+			t.Errorf("pair %v: batch=%v solve=%v", pq, got[i].Found, want.Found)
+		}
+	}
+	if !got[0].Found || got[0].Path.Word() != "abbc" {
+		t.Errorf("batch witness for (0,4): %v", got[0].Path)
+	}
+	if got[3].Found || got[4].Found {
+		t.Error("out-of-range pairs must report Found=false")
+	}
+	// Reusable engine with explicit worker count.
+	bs := lang.NewBatchSolver(g).SetWorkers(2)
+	again := bs.Solve(pairs)
+	for i := range pairs {
+		if again[i].Found != got[i].Found {
+			t.Errorf("pair %v: engine reuse diverged", pairs[i])
+		}
+	}
+}
+
+func TestSolveOutOfRangeFacade(t *testing.T) {
+	lang := MustCompile("a*c*")
+	g := NewGraph(2)
+	g.AddEdge(0, 'a', 1)
+	for _, pq := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 7}} {
+		if lang.Solve(g, pq[0], pq[1]).Found {
+			t.Errorf("Solve(%d,%d) found", pq[0], pq[1])
+		}
+		if lang.Shortest(g, pq[0], pq[1]).Found {
+			t.Errorf("Shortest(%d,%d) found", pq[0], pq[1])
+		}
+		if lang.SolveWalk(g, pq[0], pq[1]).Found {
+			t.Errorf("SolveWalk(%d,%d) found", pq[0], pq[1])
+		}
+		if lang.SolveBounded(g, pq[0], pq[1], 3, 1).Found {
+			t.Errorf("SolveBounded(%d,%d) found", pq[0], pq[1])
+		}
+	}
+}
