@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json
+.PHONY: check build vet test race bench bench-smoke bench-json serve
 
 check: build vet test race
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rspq/
+	$(GO) test -race ./internal/cache/ ./internal/rspq/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -24,3 +24,6 @@ bench-smoke:
 
 bench-json:
 	$(GO) run ./cmd/rspqbench -benchjson auto
+
+serve:
+	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'

@@ -359,6 +359,91 @@ func BenchmarkBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineHot measures the serving engine on a hot workload —
+// repeated queries over a few (language, y) targets — against the cold
+// per-query path. "engine" serves from both cache tiers; "tables-only"
+// disables the result cache so every op replays a search over a cached
+// pruning table; "cold" is the per-query Solve loop recomputing the
+// table each time.
+func BenchmarkEngineHot(b *testing.B) {
+	cases := []struct {
+		name    string
+		pattern string
+		g       *graph.Graph
+	}{
+		{"summary/n=400", "a*(bb+|())c*", graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 400)},
+		{"baseline/n=400", "a*bba*", graph.Random(400, []byte{'a', 'b'}, 0.006, 21)},
+	}
+	for _, c := range cases {
+		s, err := rspq.NewSolver(c.pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := c.g.NumVertices()
+		pairs := batchWorkload(n, 4, 16, 7) // 64 hot pairs over 4 targets
+		eng := rspq.NewEngine(s, c.g, rspq.EngineConfig{})
+		tablesOnly := rspq.NewEngine(s, c.g, rspq.EngineConfig{ResultBytes: -1})
+		b.Run(c.name+"/engine", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pq := pairs[i%len(pairs)]
+				eng.Solve(pq.X, pq.Y)
+			}
+			if st := eng.Stats(); st.Results.Hits == 0 && b.N > len(pairs) {
+				b.Fatal("hot workload produced no result-cache hits")
+			}
+		})
+		b.Run(c.name+"/tables-only", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pq := pairs[i%len(pairs)]
+				tablesOnly.Solve(pq.X, pq.Y)
+			}
+		})
+		b.Run(c.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pq := pairs[i%len(pairs)]
+				s.Solve(c.g, pq.X, pq.Y)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchExists measures the existence-only fast path against
+// full witness batches on the walk-reduction tiers, where each source
+// collapses to one O(1) table lookup.
+func BenchmarkBatchExists(b *testing.B) {
+	cases := []struct {
+		name    string
+		pattern string
+		g       *graph.Graph
+	}{
+		{"subword/n=400", "a*c*", graph.RandomRegular(400, []byte{'a', 'b', 'c'}, 3, 12)},
+		{"dag/24x20", "(a|b)*a(a|b)*", graph.LayeredDAG(24, 20, 3, []byte{'a', 'b'}, 5)},
+	}
+	for _, c := range cases {
+		s, err := rspq.NewSolver(c.pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bs := rspq.NewBatchSolver(s, c.g)
+		pairs := batchWorkload(c.g.NumVertices(), 8, 32, 7)
+		b.Run(c.name+"/exists", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bs.SolveExists(pairs)
+			}
+		})
+		b.Run(c.name+"/full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bs.Solve(pairs)
+			}
+		})
+	}
+}
+
 // BenchmarkCompile measures end-to-end language compilation (parse,
 // determinize, minimize, classify, extract witness, normalize).
 func BenchmarkCompile(b *testing.B) {

@@ -104,6 +104,26 @@ func benchWorkloads() []struct {
 	npBatch := rspq.NewBatchSolver(np, npG)
 	npPairs := batchPairs(400, 7)
 
+	// Serving-engine workloads: the same hot pair set through the
+	// two-tier cache (warm), through the table cache alone, and through
+	// the cold per-query path — the cross-batch caching win.
+	hotPairs := func(n int, seed int64) []rspq.Pair {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := make([]rspq.Pair, 0, 4*16)
+		for t := 0; t < 4; t++ {
+			y := rng.Intn(n)
+			for s := 0; s < 16; s++ {
+				pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+			}
+		}
+		return pairs
+	}
+	engPairs := hotPairs(400, 7)
+	engWarm := rspq.NewEngine(summary, summaryG, rspq.EngineConfig{})
+	engTables := rspq.NewEngine(summary, summaryG, rspq.EngineConfig{ResultBytes: -1})
+	subwordBatch := rspq.NewBatchSolver(subword, subwordG)
+	subwordPairs := batchPairs(400, 7)
+
 	return []struct {
 		name string
 		fn   func(b *testing.B)
@@ -170,6 +190,34 @@ func benchWorkloads() []struct {
 				for _, pq := range npPairs {
 					np.Solve(npG, pq.X, pq.Y)
 				}
+			}
+		}},
+		{"engine-hot-summary/64q-4t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pq := engPairs[i%len(engPairs)]
+				engWarm.Solve(pq.X, pq.Y)
+			}
+		}},
+		{"engine-tables-summary/64q-4t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pq := engPairs[i%len(engPairs)]
+				engTables.Solve(pq.X, pq.Y)
+			}
+		}},
+		{"engine-cold-summary/64q-4t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pq := engPairs[i%len(engPairs)]
+				summary.Solve(summaryG, pq.X, pq.Y)
+			}
+		}},
+		{"batch-exists-subword/256q-8t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subwordBatch.SolveExists(subwordPairs)
+			}
+		}},
+		{"batch-full-subword/256q-8t", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				subwordBatch.Solve(subwordPairs)
 			}
 		}},
 	}

@@ -1,0 +1,268 @@
+// Command rspqd is a long-lived RSPQ query server: one compiled
+// language and one graph behind an rspq.Engine whose cross-query
+// caches (per-target pruning tables + hot results) survive across
+// requests.
+//
+// Usage:
+//
+//	rspqd -graph g.txt -pattern 'a*(bb+|())c*' -addr :8080
+//	rspqd -gen 400 -pattern 'a*c*'               # random demo graph
+//
+// Endpoints:
+//
+//	POST /query  {"x":0,"y":3}                      one query
+//	POST /query  {"x":0,"y":3,"exists_only":true}   existence bit only
+//	POST /batch  {"pairs":[{"x":0,"y":3},...]}      many queries
+//	POST /edge   {"from":3,"label":"c","to":0}      mutate the graph
+//	GET  /stats                                     engine + cache stats
+//
+// The graph file uses the line format of internal/graph ("n <count>" /
+// "e <from> <label> <to>"). POST /edge demonstrates the epoch
+// machinery end to end: the mutation bumps the graph's epoch, so every
+// cached table and result goes stale automatically and the next query
+// re-freezes the snapshot. Mutations take the server's write lock;
+// queries share a read lock.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+// maxBody bounds request bodies; a /batch of a million pairs fits
+// comfortably.
+const maxBody = 32 << 20
+
+// server owns the engine and serializes graph mutations against
+// in-flight queries (the graph contract: mutations must not race
+// reads; the epoch handles staleness, the RWMutex handles the race).
+type server struct {
+	mu      sync.RWMutex
+	g       *graph.Graph
+	eng     *rspq.Engine
+	pattern string
+	started time.Time
+}
+
+func newServer(s *rspq.Solver, g *graph.Graph, pattern string, cfg rspq.EngineConfig) *server {
+	return &server{
+		g:       g,
+		eng:     rspq.NewEngine(s, g, cfg),
+		pattern: pattern,
+		started: time.Now(),
+	}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/edge", s.handleEdge)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// pathJSON serializes a witness path.
+type pathJSON struct {
+	Vertices []int  `json:"vertices"`
+	Word     string `json:"word"`
+}
+
+func toPathJSON(p *graph.Path) *pathJSON {
+	if p == nil {
+		return nil
+	}
+	return &pathJSON{Vertices: p.Vertices, Word: p.Word()}
+}
+
+type queryRequest struct {
+	X          int  `json:"x"`
+	Y          int  `json:"y"`
+	ExistsOnly bool `json:"exists_only"`
+}
+
+type queryResponse struct {
+	Found bool      `json:"found"`
+	Path  *pathJSON `json:"path,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if req.ExistsOnly {
+		writeJSON(w, queryResponse{Found: s.eng.Exists(req.X, req.Y)})
+		return
+	}
+	res := s.eng.Solve(req.X, req.Y)
+	writeJSON(w, queryResponse{Found: res.Found, Path: toPathJSON(res.Path)})
+}
+
+type batchRequest struct {
+	Pairs      []queryRequest `json:"pairs"`
+	ExistsOnly bool           `json:"exists_only"`
+}
+
+type batchResponse struct {
+	Results []queryResponse `json:"results,omitempty"`
+	Found   []bool          `json:"found,omitempty"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	pairs := make([]rspq.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = rspq.Pair{X: p.X, Y: p.Y}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if req.ExistsOnly {
+		writeJSON(w, batchResponse{Found: s.eng.BatchSolveExists(pairs)})
+		return
+	}
+	results := s.eng.BatchSolve(pairs)
+	resp := batchResponse{Results: make([]queryResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = queryResponse{Found: res.Found, Path: toPathJSON(res.Path)}
+	}
+	writeJSON(w, resp)
+}
+
+type edgeRequest struct {
+	From  int    `json:"from"`
+	Label string `json:"label"`
+	To    int    `json:"to"`
+}
+
+func (s *server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	var req edgeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Label) != 1 {
+		httpError(w, http.StatusBadRequest, "label must be a single byte")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.g.NumVertices()
+	if req.From < 0 || req.From >= n || req.To < 0 || req.To >= n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex out of range [0,%d)", n))
+		return
+	}
+	s.g.AddEdge(req.From, req.Label[0], req.To)
+	writeJSON(w, map[string]any{"epoch": s.g.Epoch(), "edges": s.g.NumEdges()})
+}
+
+type statsResponse struct {
+	Pattern       string           `json:"pattern"`
+	Vertices      int              `json:"vertices"`
+	Edges         int              `json:"edges"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Engine        rspq.EngineStats `json:"engine"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, statsResponse{
+		Pattern:       s.pattern,
+		Vertices:      s.g.NumVertices(),
+		Edges:         s.g.NumEdges(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Engine:        s.eng.Stats(),
+	})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("rspqd: write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	graphPath := flag.String("graph", "", "path to a graph file (n/e line format)")
+	pattern := flag.String("pattern", "", "regular expression defining the language")
+	gen := flag.Int("gen", 0, "generate a random 3-regular demo graph with this many vertices instead of -graph")
+	genLabels := flag.String("gen-labels", "abc", "labels for the generated graph")
+	seed := flag.Int64("seed", 1, "seed for the generated graph")
+	tableBytes := flag.Int64("table-bytes", 0, "pruning-table cache budget (0 = default 64 MiB, negative disables)")
+	resultBytes := flag.Int64("result-bytes", 0, "result cache budget (0 = default 16 MiB, negative disables)")
+	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *pattern == "" || (*graphPath == "" && *gen <= 0) {
+		fmt.Fprintln(os.Stderr, "rspqd: -pattern and one of -graph / -gen are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatalf("rspqd: %v", err)
+		}
+		g, err = graph.ReadText(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("rspqd: %v", err)
+		}
+	} else {
+		g = graph.RandomRegular(*gen, []byte(*genLabels), 3, *seed)
+	}
+
+	s, err := rspq.NewSolver(*pattern)
+	if err != nil {
+		log.Fatalf("rspqd: compile %q: %v", *pattern, err)
+	}
+	srv := newServer(s, g, *pattern, rspq.EngineConfig{
+		TableBytes:  *tableBytes,
+		ResultBytes: *resultBytes,
+		Workers:     *workers,
+	})
+	log.Printf("rspqd: serving %q over %d vertices / %d edges (%s tier) on %s",
+		*pattern, g.NumVertices(), g.NumEdges(), s.ChooseAlgorithm(g), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}

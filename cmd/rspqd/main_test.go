@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+// testServer builds the quickstart graph (0 -a-> 1 -b-> 2 -b-> 3)
+// behind an engine; the graph is acyclic so dispatch lands on the DAG
+// tier until a mutation introduces a cycle.
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	g := graph.New(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 3)
+	s, err := rspq.NewSolver("a*(bb+|())c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, g, "a*(bb+|())c*", rspq.EngineConfig{})
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var resp queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, &resp)
+	if !resp.Found || resp.Path == nil || resp.Path.Word != "abb" {
+		t.Fatalf("query(0,3) = %+v; want found with word abb", resp)
+	}
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &resp)
+	if resp.Found {
+		t.Fatalf("query(3,0) = %+v; want not found", resp)
+	}
+	// Exists-only: found bit, no path.
+	var exResp queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3,"exists_only":true}`, &exResp)
+	if !exResp.Found || exResp.Path != nil {
+		t.Fatalf("exists(0,3) = %+v; want bare found bit", exResp)
+	}
+	// Out-of-range ids are a no-answer, not an error.
+	var oob queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":-5,"y":99}`, &oob)
+	if oob.Found {
+		t.Fatal("out-of-range query must answer found=false")
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	if resp := postJSON(t, ts.URL+"/query", `{"x":0,"y":`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: status %d; want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/query", `{"x":0,"y":1,"bogus":true}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d; want 400", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d; want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var resp batchResponse
+	postJSON(t, ts.URL+"/batch",
+		`{"pairs":[{"x":0,"y":3},{"x":1,"y":3},{"x":3,"y":0},{"x":-1,"y":2}]}`, &resp)
+	if len(resp.Results) != 4 {
+		t.Fatalf("results = %d; want 4", len(resp.Results))
+	}
+	want := []bool{true, true, false, false}
+	for i, r := range resp.Results {
+		if r.Found != want[i] {
+			t.Fatalf("batch[%d].Found = %v; want %v", i, r.Found, want[i])
+		}
+	}
+	var exResp batchResponse
+	postJSON(t, ts.URL+"/batch",
+		`{"pairs":[{"x":0,"y":3},{"x":3,"y":0}],"exists_only":true}`, &exResp)
+	if len(exResp.Found) != 2 || !exResp.Found[0] || exResp.Found[1] {
+		t.Fatalf("exists batch = %+v; want [true false]", exResp.Found)
+	}
+}
+
+func TestEdgeMutationInvalidates(t *testing.T) {
+	srv, ts := testServer(t)
+	var q queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &q)
+	if q.Found {
+		t.Fatal("no path from 3 to 0 yet")
+	}
+	epochBefore := srv.g.Epoch()
+	var e map[string]any
+	postJSON(t, ts.URL+"/edge", `{"from":3,"label":"c","to":0}`, &e)
+	if uint64(e["epoch"].(float64)) <= epochBefore {
+		t.Fatalf("edge response epoch %v must exceed %d", e["epoch"], epochBefore)
+	}
+	// The cached found=false answer is keyed by the old epoch: the same
+	// query must now be recomputed and succeed.
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &q)
+	if !q.Found || q.Path == nil || q.Path.Word != "c" {
+		t.Fatalf("post-mutation query = %+v; want path c", q)
+	}
+	if resp := postJSON(t, ts.URL+"/edge", `{"from":0,"label":"zz","to":1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("multi-byte label: status %d; want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/edge", `{"from":0,"label":"a","to":99}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range edge: status %d; want 400", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	// Two identical queries: the second must be a result-cache hit.
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, nil)
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, nil)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != 4 || st.Edges != 3 || st.Pattern == "" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Engine.Queries != 2 || st.Engine.Results.Hits == 0 {
+		t.Fatalf("engine stats must show the hot hit: %+v", st.Engine)
+	}
+	// The quickstart graph is acyclic, so the dispatcher collapses the
+	// query to the DAG tier.
+	if st.Engine.Algorithm != "dag" {
+		t.Fatalf("algorithm = %q; want dag", st.Engine.Algorithm)
+	}
+}

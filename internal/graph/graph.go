@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 )
@@ -39,15 +40,32 @@ type Graph struct {
 	alphaValid bool
 	csr        *CSR
 	acyclic    int8 // 0 unknown, 1 acyclic, 2 cyclic
+
+	// epoch counts mutations (see Epoch). It is atomic so long-lived
+	// engines may poll it for staleness without synchronizing with the
+	// mutator; everything else on the graph keeps the documented
+	// contract that mutations must not race queries.
+	epoch atomic.Uint64
 }
 
-// invalidate drops every derived cache; called by all mutating methods.
+// invalidate drops every derived cache and advances the mutation epoch;
+// called by all mutating methods.
 func (g *Graph) invalidate() {
 	g.alpha = nil
 	g.alphaValid = false
 	g.csr = nil
 	g.acyclic = 0
+	g.epoch.Add(1)
 }
+
+// Epoch returns the graph's monotonic mutation counter: it advances on
+// every structural change (AddVertex / AddEdge / …) and never
+// otherwise, so any datum derived from the graph — a CSR snapshot, a
+// pruning table, a cached query result — can be keyed by the epoch it
+// was built under and goes stale automatically when the graph mutates,
+// with no explicit purge calls. Unlike the rest of the Graph API,
+// Epoch is safe to call concurrently with mutations.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
 // New returns a graph with n isolated vertices.
 func New(n int) *Graph {

@@ -276,3 +276,57 @@ func TestLoopTrapShape(t *testing.T) {
 		t.Error("LoopTrap must contain a b self-loop")
 	}
 }
+
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	g := New(2)
+	e0 := g.Epoch()
+	g.AddEdge(0, 'a', 1)
+	if g.Epoch() == e0 {
+		t.Fatal("AddEdge must advance the epoch")
+	}
+	e1 := g.Epoch()
+	g.AddEdge(0, 'a', 1) // exact duplicate: set semantics, no mutation
+	if g.Epoch() != e1 {
+		t.Fatal("duplicate AddEdge must not advance the epoch")
+	}
+	g.AddVertex()
+	if g.Epoch() == e1 {
+		t.Fatal("AddVertex must advance the epoch")
+	}
+	e2 := g.Epoch()
+	// Queries and freezing never advance the epoch.
+	g.Freeze()
+	g.IsAcyclic()
+	g.Alphabet()
+	if g.Epoch() != e2 {
+		t.Fatal("read-side calls must not advance the epoch")
+	}
+	if e2 <= e0 {
+		t.Fatalf("epoch must be monotonic: %d then %d", e0, e2)
+	}
+}
+
+func TestSnapshotConsistent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 'a', 1)
+	csr, acyclic, epoch := g.Snapshot()
+	if !acyclic || csr.NumEdges() != 1 || epoch != g.Epoch() {
+		t.Fatalf("snapshot = (%d edges, acyclic=%v, epoch=%d); graph epoch %d",
+			csr.NumEdges(), acyclic, epoch, g.Epoch())
+	}
+	if c2, _, e2 := g.Snapshot(); c2 != csr || e2 != epoch {
+		t.Fatal("snapshot without mutation must reuse the cached CSR and epoch")
+	}
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 1) // cycle
+	c3, acyclic3, e3 := g.Snapshot()
+	if c3 == csr || e3 == epoch {
+		t.Fatal("snapshot after mutation must rebuild")
+	}
+	if acyclic3 {
+		t.Fatal("new snapshot must see the cycle")
+	}
+	if c3.NumEdges() != 3 {
+		t.Fatalf("new snapshot has %d edges; want 3", c3.NumEdges())
+	}
+}

@@ -21,6 +21,7 @@ type bsearch struct {
 	y     int
 	limit int // depth bound, -1 when unbounded
 	stats *BaselineStats
+	cot   *coTable // cached co-reachability table; nil = use a.co
 	vs    []int
 	ls    []byte
 }
@@ -53,7 +54,11 @@ func (b *bsearch) dfs(v, q, used int) bool {
 			}
 			nid := to*b.p.m + t
 			if b.limit < 0 {
-				if !b.a.co.has(nid) {
+				if b.cot != nil {
+					if !b.cot.has(nid) {
+						continue
+					}
+				} else if !b.a.co.has(nid) {
 					continue
 				}
 			} else {
@@ -103,8 +108,20 @@ func Baseline(g *graph.Graph, d *automaton.DFA, x, y int, stats *BaselineStats) 
 // for target y). The table depends only on y, so batched queries
 // sharing a target call this once per source over one table.
 func baselineFrom(p *product, a *arena, d *automaton.DFA, x, y int, stats *BaselineStats) Result {
-	b := bsearch{p: *p, a: a, d: d, y: y, limit: -1, stats: stats}
-	if !a.co.has(p.id(x, d.Start)) {
+	return baselineWith(p, a, d, nil, x, y, stats)
+}
+
+// baselineWith is baselineFrom with an optional frozen co-reachability
+// table: when cot is non-nil the search prunes against it instead of
+// the arena table, which is how Engine replays a cached (language, y)
+// table across queries and graph-epoch-stable batches.
+func baselineWith(p *product, a *arena, d *automaton.DFA, cot *coTable, x, y int, stats *BaselineStats) Result {
+	b := bsearch{p: *p, a: a, d: d, y: y, limit: -1, stats: stats, cot: cot}
+	if cot != nil {
+		if !cot.has(p.id(x, d.Start)) {
+			return Result{}
+		}
+	} else if !a.co.has(p.id(x, d.Start)) {
 		return Result{}
 	}
 	a.seen.reset(p.n)

@@ -82,6 +82,27 @@ type batchGroup struct {
 // group shares its y-side table, and groups run on the worker pool.
 func (bs *BatchSolver) Solve(pairs []Pair) []Result {
 	out := make([]Result, len(pairs))
+	bs.run(pairs, out, nil)
+	return out
+}
+
+// SolveExists answers only the existence bit of every pair: out[i]
+// reports whether pairs[i] has a simple L-labeled path. It shares the
+// same per-target tables as Solve but skips witness-walk
+// reconstruction entirely. On the walk-reduction tiers (subword-closed
+// languages and DAGs) each source is answered by a single O(1) lookup
+// in the shared backward product BFS, so existence-only batches are
+// markedly cheaper than Solve there.
+func (bs *BatchSolver) SolveExists(pairs []Pair) []bool {
+	found := make([]bool, len(pairs))
+	bs.run(pairs, nil, found)
+	return found
+}
+
+// run groups pairs by target and fans the groups out over the worker
+// pool. Exactly one of out and found is non-nil: out receives full
+// results, found only existence bits.
+func (bs *BatchSolver) run(pairs []Pair, out []Result, found []bool) {
 	n := bs.g.NumVertices()
 	var groups []batchGroup
 	pos := make(map[int]int)
@@ -99,7 +120,7 @@ func (bs *BatchSolver) Solve(pairs []Pair) []Result {
 		groups[gi].idx = append(groups[gi].idx, i)
 	}
 	if len(groups) == 0 {
-		return out
+		return
 	}
 
 	algo := bs.s.ChooseAlgorithm(bs.g)
@@ -110,10 +131,10 @@ func (bs *BatchSolver) Solve(pairs []Pair) []Result {
 	if workers <= 1 {
 		a := getArena()
 		for gi := range groups {
-			bs.solveGroup(algo, &groups[gi], out, a)
+			bs.solveGroup(algo, &groups[gi], out, found, a)
 		}
 		a.release()
-		return out
+		return
 	}
 
 	work := make(chan int)
@@ -125,7 +146,7 @@ func (bs *BatchSolver) Solve(pairs []Pair) []Result {
 			a := getArena() // one arena per worker, for its whole shift
 			defer a.release()
 			for gi := range work {
-				bs.solveGroup(algo, &groups[gi], out, a)
+				bs.solveGroup(algo, &groups[gi], out, found, a)
 			}
 		}()
 	}
@@ -134,41 +155,46 @@ func (bs *BatchSolver) Solve(pairs []Pair) []Result {
 	}
 	close(work)
 	wg.Wait()
-	return out
 }
 
 // solveGroup answers one target group on the tier algo, writing into
-// the disjoint out slots named by grp.idx. Every tier of the dispatcher
-// has a batch entry point below; the finite tier has no y-side table to
-// share and simply loops its per-query search.
-func (bs *BatchSolver) solveGroup(algo Algorithm, grp *batchGroup, out []Result, a *arena) {
+// the disjoint out (or found) slots named by grp.idx. Every tier of the
+// dispatcher has a batch entry point below; the finite tier has no
+// y-side table to share and simply loops its per-query search.
+func (bs *BatchSolver) solveGroup(algo Algorithm, grp *batchGroup, out []Result, found []bool, a *arena) {
 	switch algo {
 	case AlgoFinite:
-		bs.batchFinite(grp, out)
+		bs.batchFinite(grp, out, found)
 	case AlgoSubword:
-		bs.batchSubword(grp, out, a)
+		bs.batchSubword(grp, out, found, a)
 	case AlgoDAG:
-		bs.batchDAG(grp, out, a)
+		bs.batchDAG(grp, out, found, a)
 	case AlgoSummary:
 		if bs.s.Expr == nil {
-			bs.batchBaseline(grp, out, a)
+			bs.batchBaseline(grp, out, found, a)
 			return
 		}
-		bs.batchSummary(grp, out)
+		bs.batchSummary(grp, out, found)
 	default:
-		bs.batchBaseline(grp, out, a)
+		bs.batchBaseline(grp, out, found, a)
 	}
 }
 
 // batchFinite loops the AC⁰-tier word search: it is already
 // target-light (each word probe is a bounded DFS from x), so there is
 // no table worth sharing across the group.
-func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result) {
+func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result, found []bool) {
 	for j, x := range grp.xs {
+		var res Result
 		if bs.s.words != nil {
-			out[grp.idx[j]] = finiteWithWords(bs.g, bs.s.words, x, grp.y)
+			res = finiteWithWords(bs.g.Freeze(), bs.s.words, x, grp.y)
 		} else {
-			out[grp.idx[j]] = Finite(bs.g, bs.s.Min, x, grp.y)
+			res = Finite(bs.g, bs.s.Min, x, grp.y)
+		}
+		if found != nil {
+			found[grp.idx[j]] = res.Found
+		} else {
+			out[grp.idx[j]] = res
 		}
 	}
 }
@@ -176,10 +202,19 @@ func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result) {
 // batchSubword shares one backward product BFS from the target across
 // the whole group: the walk-reduction answer for every source is read
 // off the successor links in O(walk length), then made simple by loop
-// removal exactly like the per-query Subword path.
-func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, a *arena) {
+// removal exactly like the per-query Subword path. In existence-only
+// mode each source is a single O(1) reachability lookup — no walk is
+// materialized at all (sound because the dispatcher verified the
+// language subword-closed, so a walk always yields a simple witness).
+func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProduct(bs.g, bs.s.Min, a)
 	p.distToGoal(grp.y, a)
+	if found != nil {
+		for j, x := range grp.xs {
+			found[grp.idx[j]] = a.dst.has(p.id(x, p.d.Start))
+		}
+		return
+	}
 	for j, x := range grp.xs {
 		walk := p.sharedWalkFrom(a, x)
 		if walk == nil {
@@ -196,10 +231,17 @@ func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, a *arena) {
 }
 
 // batchDAG shares the same backward product BFS on acyclic inputs,
-// where every walk is already simple (Theorem 8's collapse to RPQ).
-func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, a *arena) {
+// where every walk is already simple (Theorem 8's collapse to RPQ);
+// existence-only mode is again one O(1) lookup per source.
+func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProduct(bs.g, bs.s.Min, a)
 	p.distToGoal(grp.y, a)
+	if found != nil {
+		for j, x := range grp.xs {
+			found[grp.idx[j]] = a.dst.has(p.id(x, p.d.Start))
+		}
+		return
+	}
 	for j, x := range grp.xs {
 		if walk := p.sharedWalkFrom(a, x); walk != nil {
 			out[grp.idx[j]] = Result{Found: true, Path: walk}
@@ -210,15 +252,27 @@ func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, a *arena) {
 // batchSummary shares each Ψtr sequence's position-NFA co-reachability
 // table (which depends only on g and y) across the group: one pooled
 // seqSearcher is acquired per (sequence, target) and run once per
-// source that is still unanswered.
-func (bs *BatchSolver) batchSummary(grp *batchGroup, out []Result) {
+// source that is still unanswered. Existence-only mode runs the same
+// search but never materializes witness paths.
+func (bs *BatchSolver) batchSummary(grp *batchGroup, out []Result, found []bool) {
 	remaining := len(grp.xs)
 	for _, seq := range bs.s.Expr.Seqs {
 		if remaining == 0 {
 			return // skip later sequences' co-reachability builds
 		}
 		ss := acquireSeqSearcher(bs.g, seq, grp.y, false)
+		ss.existsOnly = found != nil
 		for j, x := range grp.xs {
+			if found != nil {
+				if found[grp.idx[j]] {
+					continue
+				}
+				if ss.run(x).Found {
+					found[grp.idx[j]] = true
+					remaining--
+				}
+				continue
+			}
 			if out[grp.idx[j]].Found {
 				continue
 			}
@@ -232,11 +286,18 @@ func (bs *BatchSolver) batchSummary(grp *batchGroup, out []Result) {
 }
 
 // batchBaseline computes the exponential tier's co-reachability pruning
-// table once per target and backtracks per source against it.
-func (bs *BatchSolver) batchBaseline(grp *batchGroup, out []Result, a *arena) {
+// table once per target and backtracks per source against it. The
+// existence bit needs the same search (co-reachability alone ignores
+// simplicity), so existence-only mode merely drops the witness.
+func (bs *BatchSolver) batchBaseline(grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProduct(bs.g, bs.s.Min, a)
 	p.coReach(grp.y, a)
 	for j, x := range grp.xs {
-		out[grp.idx[j]] = baselineFrom(&p, a, bs.s.Min, x, grp.y, nil)
+		res := baselineFrom(&p, a, bs.s.Min, x, grp.y, nil)
+		if found != nil {
+			found[grp.idx[j]] = res.Found
+		} else {
+			out[grp.idx[j]] = res
+		}
 	}
 }

@@ -213,3 +213,38 @@ func TestBatchConcurrentStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestBatchSolveExists pins the existence-only fast path to the full
+// Solve results on every tier, including invalid ids.
+func TestBatchSolveExists(t *testing.T) {
+	for _, c := range engineTierCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := NewSolver(c.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := NewBatchSolver(s, c.g)
+			n := c.g.NumVertices()
+			pairs := probePairs(n, 80, 29)
+			pairs = append(pairs, Pair{X: -1, Y: 2}, Pair{X: 2, Y: n})
+			full := bs.Solve(pairs)
+			bits := bs.SolveExists(pairs)
+			if len(bits) != len(pairs) {
+				t.Fatalf("len = %d; want %d", len(bits), len(pairs))
+			}
+			for i := range pairs {
+				if bits[i] != full[i].Found {
+					t.Fatalf("pair %d (%d,%d): exists = %v, Solve.Found = %v",
+						i, pairs[i].X, pairs[i].Y, bits[i], full[i].Found)
+				}
+			}
+			// Single-worker path must agree too.
+			one := NewBatchSolver(s, c.g).SetWorkers(1).SolveExists(pairs)
+			for i := range one {
+				if one[i] != bits[i] {
+					t.Fatalf("single-worker exists diverged at %d", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,668 @@
+package rspq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/psitr"
+)
+
+// This file implements the long-lived serving engine. A Solver answers
+// one query at a time and a BatchSolver shares per-target tables within
+// one batch; an Engine makes those tables survive ACROSS queries and
+// batches. It owns a frozen view of one graph plus two cache tiers:
+//
+//   - a table cache holding the per-(language, target) pruning tables
+//     of every tier — the baseline's product co-reachability bitset,
+//     the walk-reduction tiers' backward-BFS distance + successor
+//     arrays, and the summary solver's per-sequence position-NFA
+//     co-reachability bitsets;
+//   - a result cache for hot (language, x, y) answers.
+//
+// Every key carries the graph's mutation epoch (graph.Graph.Epoch), so
+// a mutation invalidates all cached data automatically: the next query
+// observes the bumped epoch, re-freezes the snapshot, and every lookup
+// under the new epoch misses. Stale entries age out of the LRU on
+// their own — no explicit purge calls anywhere.
+//
+// Engines are safe for concurrent use. Graph mutations must still be
+// externally synchronized with in-flight queries (the graph's own
+// contract); the epoch machinery guarantees that once a mutation
+// happens-before a query, no table or result from the old generation
+// can be served.
+
+// Default cache budgets; override per tier via EngineConfig.
+const (
+	DefaultTableBytes  = 64 << 20 // 64 MiB of pruning tables
+	DefaultResultBytes = 16 << 20 // 16 MiB of hot results
+)
+
+// EngineConfig sizes an Engine's cache tiers and worker pool.
+type EngineConfig struct {
+	// TableBytes is the byte budget of the pruning-table cache. Zero
+	// selects DefaultTableBytes; a negative value disables the tier.
+	TableBytes int64
+	// ResultBytes is the byte budget of the result cache. Zero selects
+	// DefaultResultBytes; a negative value disables the tier.
+	ResultBytes int64
+	// Workers sizes the BatchSolve worker pool; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+}
+
+// EngineStats is a point-in-time snapshot of an Engine's counters;
+// the cache stats make hits, misses and evictions of both tiers
+// observable (see Engine.Stats).
+type EngineStats struct {
+	Epoch            uint64      `json:"epoch"`
+	Algorithm        string      `json:"algorithm"`
+	Queries          int64       `json:"queries"`
+	Batches          int64       `json:"batches"`
+	BatchPairs       int64       `json:"batch_pairs"`
+	SnapshotRebuilds int64       `json:"snapshot_rebuilds"`
+	Tables           cache.Stats `json:"tables"`
+	Results          cache.Stats `json:"results"`
+}
+
+// table kinds, part of tableKey so the three tiers share one cache.
+const (
+	tableCo   uint8 = iota // baseline product co-reachability bitset
+	tableGoal              // subword/DAG backward-BFS dist + successors
+	tableSeq               // summary per-sequence position-NFA bitset
+)
+
+// tableKey names one per-target pruning table: the graph generation it
+// was built under, the language, the target, and — for the summary
+// tier — the Ψtr sequence index.
+type tableKey struct {
+	epoch uint64
+	lang  uint64
+	y     int32
+	seq   int32 // sequence index (summary tier), -1 otherwise
+	kind  uint8
+}
+
+// resultKey names one cached answer. Existence-only answers are cached
+// under their own keys so a witness-less result can never be returned
+// to a caller that asked for a path.
+type resultKey struct {
+	epoch  uint64
+	lang   uint64
+	x, y   int32
+	exists bool
+}
+
+// coTable is an immutable product co-reachability table (a bitset over
+// dense product ids), the frozen form of what coReach / computeCoReach
+// leave in per-query scratch. Safe for concurrent readers.
+type coTable struct {
+	bits []uint64
+}
+
+func newCoTable(n int) *coTable { return &coTable{bits: make([]uint64, (n+63)>>6)} }
+
+func (t *coTable) set(i int)      { t.bits[i>>6] |= 1 << (uint(i) & 63) }
+func (t *coTable) has(i int) bool { return t.bits[i>>6]>>(uint(i)&63)&1 == 1 }
+func (t *coTable) cost() int64    { return coTableCost(len(t.bits) << 6) }
+
+// coTableCost is the byte footprint of a coTable over n dense ids,
+// computable before the table is built (see cache.Retainable).
+func coTableCost(n int) int64 { return int64((n+63)>>6)*8 + 48 }
+
+// goalTableCost is the byte footprint of a goalTable over n dense ids.
+func goalTableCost(n int) int64 { return int64(n)*9 + 72 }
+
+// goalTable is the frozen result of one backward product BFS toward an
+// accepting (y, ·) goal: distances (-1 = unreachable), successor links
+// one step closer to the goal, and the labels of those steps. It
+// answers existence in O(1) and yields a shortest walk from any source
+// in O(walk length). Safe for concurrent readers.
+type goalTable struct {
+	dist   []int32
+	parent []int32
+	plabel []byte
+}
+
+func (t *goalTable) cost() int64 { return goalTableCost(len(t.dist)) }
+
+// exportGoalTable freezes the arena's distToGoal output.
+func exportGoalTable(p *product, a *arena) *goalTable {
+	nm := p.n * p.m
+	t := &goalTable{
+		dist:   make([]int32, nm),
+		parent: make([]int32, nm),
+		plabel: make([]byte, nm),
+	}
+	for i := 0; i < nm; i++ {
+		if a.dst.has(i) {
+			t.dist[i] = a.dist[i]
+			t.parent[i] = a.parent[i]
+			t.plabel[i] = a.plabel[i]
+		} else {
+			t.dist[i] = -1
+		}
+	}
+	return t
+}
+
+// exportCoTable freezes the arena's coReach output.
+func exportCoTable(p *product, a *arena) *coTable {
+	nm := p.n * p.m
+	t := newCoTable(nm)
+	for i := 0; i < nm; i++ {
+		if a.co.has(i) {
+			t.set(i)
+		}
+	}
+	return t
+}
+
+// walkFrom reads a shortest L-labeled walk from x off the frozen
+// successor links — the cached-table analogue of sharedWalkFrom — or
+// nil when no walk exists. m is the DFA state count, start its start
+// state.
+func (t *goalTable) walkFrom(x, start, m int) *graph.Path {
+	cur := x*m + start
+	if t.dist[cur] < 0 {
+		return nil
+	}
+	vs := make([]int, 0, t.dist[cur]+1)
+	ls := make([]byte, 0, t.dist[cur])
+	vs = append(vs, x)
+	for t.dist[cur] > 0 {
+		ls = append(ls, t.plabel[cur])
+		cur = int(t.parent[cur])
+		vs = append(vs, cur/m)
+	}
+	return &graph.Path{Vertices: vs, Labels: ls}
+}
+
+// engineSnap is one consistent frozen view of the graph: the CSR, the
+// epoch it was built under, and the dispatch verdict. Snapshots are
+// immutable; a mutation makes the next query build a fresh one.
+type engineSnap struct {
+	csr   *graph.CSR
+	epoch uint64
+	algo  Algorithm
+}
+
+// Engine is a long-lived serving engine for one (language, graph)
+// pair: it answers Solve / Exists / BatchSolve / BatchSolveExists
+// against a frozen snapshot of the graph, keeping the per-target
+// pruning tables of all three algorithm tiers and hot query results in
+// epoch-keyed LRU caches so they survive across queries and batches.
+// Build one with NewEngine and share it between goroutines.
+type Engine struct {
+	s *Solver
+	g *graph.Graph
+
+	mu   sync.Mutex // serializes snapshot rebuilds
+	snap atomic.Pointer[engineSnap]
+
+	tables  *cache.Cache[tableKey, any] // nil when the tier is disabled
+	results *cache.Cache[resultKey, Result]
+
+	workers    atomic.Int32
+	queries    atomic.Int64
+	batches    atomic.Int64
+	batchPairs atomic.Int64
+	rebuilds   atomic.Int64
+}
+
+// NewEngine builds a serving engine for s's language on g, freezing
+// the graph-side indexes eagerly (like Solver.Warm). The zero
+// EngineConfig selects the default cache budgets and a GOMAXPROCS
+// worker pool.
+func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
+	e := &Engine{s: s, g: g}
+	if cfg.TableBytes >= 0 {
+		tb := cfg.TableBytes
+		if tb == 0 {
+			tb = DefaultTableBytes
+		}
+		e.tables = cache.New[tableKey, any](cache.Config{MaxBytes: tb})
+	}
+	if cfg.ResultBytes >= 0 {
+		rb := cfg.ResultBytes
+		if rb == 0 {
+			rb = DefaultResultBytes
+		}
+		e.results = cache.New[resultKey, Result](cache.Config{MaxBytes: rb})
+	}
+	w := cfg.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e.workers.Store(int32(w))
+	e.snapshot()
+	return e
+}
+
+// SetWorkers overrides the batch worker-pool size; n < 1 restores the
+// default (GOMAXPROCS). It returns the receiver for chaining.
+func (e *Engine) SetWorkers(n int) *Engine {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers.Store(int32(n))
+	return e
+}
+
+// Solver returns the compiled language the engine serves.
+func (e *Engine) Solver() *Solver { return e.s }
+
+// snapshot returns the current consistent frozen view, rebuilding it
+// when the graph's epoch has moved past the snapshot's. Cached tables
+// and results need no purging — their keys carry the old epoch and
+// simply stop matching.
+func (e *Engine) snapshot() *engineSnap {
+	if s := e.snap.Load(); s != nil && s.epoch == e.g.Epoch() {
+		return s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.snap.Load(); s != nil && s.epoch == e.g.Epoch() {
+		return s
+	}
+	csr, acyclic, epoch := e.g.Snapshot()
+	s := &engineSnap{csr: csr, epoch: epoch, algo: e.s.algorithmFor(acyclic)}
+	e.snap.Store(s)
+	e.rebuilds.Add(1)
+	return s
+}
+
+// Stats snapshots the engine's counters, including hit/miss/eviction
+// numbers for both cache tiers.
+func (e *Engine) Stats() EngineStats {
+	snap := e.snap.Load()
+	st := EngineStats{
+		Queries:          e.queries.Load(),
+		Batches:          e.batches.Load(),
+		BatchPairs:       e.batchPairs.Load(),
+		SnapshotRebuilds: e.rebuilds.Load(),
+	}
+	if snap != nil {
+		st.Epoch = snap.epoch
+		st.Algorithm = snap.algo.String()
+	}
+	if e.tables != nil {
+		st.Tables = e.tables.Stats()
+	}
+	if e.results != nil {
+		st.Results = e.results.Stats()
+	}
+	return st
+}
+
+// Solve answers RSPQ(L) for one (x, y) pair. The returned Result may
+// be shared with other callers via the result cache, so its Path must
+// be treated as immutable.
+func (e *Engine) Solve(x, y int) Result {
+	return e.solve(x, y, false)
+}
+
+// Exists answers only the existence bit, skipping witness
+// materialization where the tier allows it (O(1) per call on the
+// walk-reduction tiers once the target's table is cached).
+func (e *Engine) Exists(x, y int) bool {
+	return e.solve(x, y, true).Found
+}
+
+func (e *Engine) solve(x, y int, existsOnly bool) Result {
+	e.queries.Add(1)
+	snap := e.snapshot()
+	if !validPair(snap.csr.NumVertices(), x, y) {
+		return Result{}
+	}
+	if res, ok := e.cachedResult(snap.epoch, x, y, existsOnly); ok {
+		return res
+	}
+	a := getArena()
+	res := e.solveOne(snap, a, x, y, existsOnly)
+	a.release()
+	e.storeResult(snap.epoch, x, y, existsOnly, res)
+	return res
+}
+
+// cachedResult consults the result cache. A full result satisfies an
+// existence-only ask; the reverse never happens because existence-only
+// answers live under their own keys.
+func (e *Engine) cachedResult(epoch uint64, x, y int, existsOnly bool) (Result, bool) {
+	if e.results == nil {
+		return Result{}, false
+	}
+	k := resultKey{epoch: epoch, lang: e.s.id, x: int32(x), y: int32(y)}
+	if res, ok := e.results.Get(k); ok {
+		return res, true
+	}
+	if existsOnly {
+		k.exists = true
+		if res, ok := e.results.Get(k); ok {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+func (e *Engine) storeResult(epoch uint64, x, y int, existsOnly bool, res Result) {
+	if e.results == nil {
+		return
+	}
+	k := resultKey{epoch: epoch, lang: e.s.id, x: int32(x), y: int32(y), exists: existsOnly}
+	e.results.Put(k, res, resultCost(res))
+}
+
+// resultCost estimates the footprint of one cached Result: key, entry
+// bookkeeping, and the witness path when present.
+func resultCost(res Result) int64 {
+	c := int64(96)
+	if res.Path != nil {
+		c += int64(len(res.Path.Vertices))*8 + int64(len(res.Path.Labels)) + 48
+	}
+	return c
+}
+
+// solveOne answers one in-range query against the snapshot, going
+// through the table cache for the y-side pruning table of the active
+// tier.
+func (e *Engine) solveOne(snap *engineSnap, a *arena, x, y int, existsOnly bool) Result {
+	switch snap.algo {
+	case AlgoFinite:
+		// No y-side table to share: each word probe is a bounded DFS.
+		if e.s.words != nil {
+			return finiteWithWords(snap.csr, e.s.words, x, y)
+		}
+		return finiteWithWords(snap.csr, finiteWords(e.s.Min), x, y)
+	case AlgoSubword, AlgoDAG:
+		v := e.goalViewFor(snap, a, y)
+		return e.answerGoal(v, snap.algo, x, existsOnly)
+	case AlgoSummary:
+		return e.summarySolve(snap, x, y, existsOnly)
+	default:
+		p := makeProductCSR(snap.csr, e.s.Min, a)
+		t := e.coTableFor(snap, &p, a, y)
+		return baselineWith(&p, a, e.s.Min, t, x, y, nil)
+	}
+}
+
+// summarySolve walks the Ψtr sequences in order, reusing each
+// sequence's cached position-NFA co-reachability table when present.
+func (e *Engine) summarySolve(snap *engineSnap, x, y int, existsOnly bool) Result {
+	for si, seq := range e.s.Expr.Seqs {
+		ss := e.acquireSummary(snap, seq, si, y)
+		ss.existsOnly = existsOnly
+		res := ss.run(x)
+		ss.release()
+		if res.Found {
+			return res
+		}
+	}
+	return Result{}
+}
+
+// acquireSummary readies a summary searcher for (sequence si, target
+// y), feeding its co-reachability table from — and back to — the table
+// cache. Both the single-query and the batch path go through here.
+func (e *Engine) acquireSummary(snap *engineSnap, seq *psitr.Sequence, si, y int) *seqSearcher {
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: int32(si), kind: tableSeq}
+	var ext *coTable
+	if e.tables != nil {
+		if v, ok := e.tables.Get(key); ok {
+			ext = v.(*coTable)
+		}
+	}
+	ss := acquireSeqSearcherCSR(snap.csr, seq, y, false, ext)
+	if ext == nil && e.tables != nil && e.tables.Retainable(coTableCost(ss.n*ss.plan.posCount)) {
+		t := ss.exportCoReach()
+		e.tables.Put(key, t, t.cost())
+	}
+	return ss
+}
+
+// goalView is the y-side backward-BFS table in whichever form is
+// cheapest: a cached immutable goalTable, or — when the table cache is
+// disabled or the table would be rejected on arrival — the arena's raw
+// distToGoal output, read exactly like the BatchSolver path with no
+// export copy.
+type goalView struct {
+	t *goalTable
+	p product // valid when t == nil; arena holds the BFS output
+	a *arena
+}
+
+// goalViewFor returns the backward-BFS view for target y, serving the
+// cached table on hit and caching a freshly exported one on miss when
+// it is retainable.
+func (e *Engine) goalViewFor(snap *engineSnap, a *arena, y int) goalView {
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, kind: tableGoal}
+	if e.tables != nil {
+		if v, ok := e.tables.Get(key); ok {
+			return goalView{t: v.(*goalTable)}
+		}
+	}
+	p := makeProductCSR(snap.csr, e.s.Min, a)
+	p.distToGoal(y, a)
+	if e.tables != nil && e.tables.Retainable(goalTableCost(p.n*p.m)) {
+		t := exportGoalTable(&p, a)
+		e.tables.Put(key, t, t.cost())
+		return goalView{t: t}
+	}
+	return goalView{p: p, a: a}
+}
+
+// answerGoal answers one source against the y-side view, applying the
+// subword loop-removal guard when the tier requires it. Shared by the
+// single-query and batch paths.
+func (e *Engine) answerGoal(v goalView, algo Algorithm, x int, existsOnly bool) Result {
+	m, start := e.s.Min.NumStates, e.s.Min.Start
+	if existsOnly {
+		// Sound without the walk: on DAGs every walk is simple, and the
+		// dispatcher verified subword closure, under which loop removal
+		// always lands back in the language.
+		if v.t != nil {
+			return Result{Found: v.t.dist[x*m+start] >= 0}
+		}
+		return Result{Found: v.a.dst.has(v.p.id(x, start))}
+	}
+	var walk *graph.Path
+	if v.t != nil {
+		walk = v.t.walkFrom(x, start, m)
+	} else {
+		walk = v.p.sharedWalkFrom(v.a, x)
+	}
+	if walk == nil {
+		return Result{}
+	}
+	if algo == AlgoSubword {
+		simple := walk.RemoveLoops()
+		if !e.s.Min.Member(simple.Word()) {
+			// Cannot happen for genuinely subword-closed languages.
+			return Result{}
+		}
+		return Result{Found: true, Path: simple}
+	}
+	return Result{Found: true, Path: walk}
+}
+
+// coTableFor returns the baseline co-reachability table for target y —
+// cached on hit, freshly cached on miss when retainable, or nil with
+// the table left in the arena (a.co) for baselineWith's fallback.
+func (e *Engine) coTableFor(snap *engineSnap, p *product, a *arena, y int) *coTable {
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, kind: tableCo}
+	if e.tables != nil {
+		if v, ok := e.tables.Get(key); ok {
+			return v.(*coTable)
+		}
+	}
+	p.coReach(y, a)
+	if e.tables != nil && e.tables.Retainable(coTableCost(p.n*p.m)) {
+		t := exportCoTable(p, a)
+		e.tables.Put(key, t, t.cost())
+		return t
+	}
+	return nil
+}
+
+// BatchSolve answers many (x, y) pairs: out[i] answers pairs[i],
+// out-of-range ids yield Result{Found: false}. Pairs are first checked
+// against the result cache; the remainder are grouped by target, each
+// group's pruning table comes from the table cache (computed once on
+// miss), and groups fan out over the worker pool. Cached Results are
+// shared — treat their Paths as immutable.
+func (e *Engine) BatchSolve(pairs []Pair) []Result {
+	out := make([]Result, len(pairs))
+	e.batch(pairs, out, nil)
+	return out
+}
+
+// BatchSolveExists answers only the existence bits, combining the
+// batch grouping with the existence-only fast path (O(1) per source on
+// the walk-reduction tiers once the group's table is available).
+func (e *Engine) BatchSolveExists(pairs []Pair) []bool {
+	found := make([]bool, len(pairs))
+	e.batch(pairs, nil, found)
+	return found
+}
+
+func (e *Engine) batch(pairs []Pair, out []Result, found []bool) {
+	e.batches.Add(1)
+	e.batchPairs.Add(int64(len(pairs)))
+	snap := e.snapshot()
+	n := snap.csr.NumVertices()
+	existsOnly := found != nil
+
+	var groups []batchGroup
+	pos := make(map[int]int)
+	for i, pq := range pairs {
+		if !validPair(n, pq.X, pq.Y) {
+			continue // slot stays Found=false
+		}
+		if res, ok := e.cachedResult(snap.epoch, pq.X, pq.Y, existsOnly); ok {
+			if existsOnly {
+				found[i] = res.Found
+			} else {
+				out[i] = res
+			}
+			continue
+		}
+		gi, ok := pos[pq.Y]
+		if !ok {
+			gi = len(groups)
+			pos[pq.Y] = gi
+			groups = append(groups, batchGroup{y: pq.Y})
+		}
+		groups[gi].xs = append(groups[gi].xs, pq.X)
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+	if len(groups) == 0 {
+		return
+	}
+
+	workers := int(e.workers.Load())
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		a := getArena()
+		for gi := range groups {
+			e.solveGroup(snap, a, &groups[gi], out, found)
+		}
+		a.release()
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := getArena()
+			defer a.release()
+			for gi := range work {
+				e.solveGroup(snap, a, &groups[gi], out, found)
+			}
+		}()
+	}
+	for gi := range groups {
+		work <- gi
+	}
+	close(work)
+	wg.Wait()
+}
+
+// solveGroup answers one target group against the cached (or freshly
+// cached) y-side table, writing into the disjoint slots named by
+// grp.idx and feeding each answer to the result cache.
+func (e *Engine) solveGroup(snap *engineSnap, a *arena, grp *batchGroup, out []Result, found []bool) {
+	existsOnly := found != nil
+	record := func(j int, res Result) {
+		if existsOnly {
+			found[grp.idx[j]] = res.Found
+		} else {
+			out[grp.idx[j]] = res
+		}
+		e.storeResult(snap.epoch, grp.xs[j], grp.y, existsOnly, res)
+	}
+	switch snap.algo {
+	case AlgoFinite:
+		words := e.s.words
+		if words == nil {
+			words = finiteWords(e.s.Min)
+		}
+		for j, x := range grp.xs {
+			record(j, finiteWithWords(snap.csr, words, x, grp.y))
+		}
+	case AlgoSubword, AlgoDAG:
+		v := e.goalViewFor(snap, a, grp.y)
+		for j, x := range grp.xs {
+			record(j, e.answerGoal(v, snap.algo, x, existsOnly))
+		}
+	case AlgoSummary:
+		e.batchSummary(snap, grp, out, found)
+	default:
+		p := makeProductCSR(snap.csr, e.s.Min, a)
+		t := e.coTableFor(snap, &p, a, grp.y)
+		for j, x := range grp.xs {
+			record(j, baselineWith(&p, a, e.s.Min, t, x, grp.y, nil))
+		}
+	}
+}
+
+// batchSummary mirrors BatchSolver.batchSummary with the per-sequence
+// tables drawn from (and fed to) the cross-query cache.
+func (e *Engine) batchSummary(snap *engineSnap, grp *batchGroup, out []Result, found []bool) {
+	existsOnly := found != nil
+	answered := make([]bool, len(grp.xs))
+	results := make([]Result, len(grp.xs))
+	remaining := len(grp.xs)
+	for si, seq := range e.s.Expr.Seqs {
+		if remaining == 0 {
+			break
+		}
+		ss := e.acquireSummary(snap, seq, si, grp.y)
+		ss.existsOnly = existsOnly
+		for j, x := range grp.xs {
+			if answered[j] {
+				continue
+			}
+			if res := ss.run(x); res.Found {
+				answered[j] = true
+				results[j] = res
+				remaining--
+			}
+		}
+		ss.release()
+	}
+	for j := range grp.xs {
+		res := results[j]
+		if existsOnly {
+			found[grp.idx[j]] = res.Found
+		} else {
+			out[grp.idx[j]] = res
+		}
+		e.storeResult(snap.epoch, grp.xs[j], grp.y, existsOnly, res)
+	}
+}

@@ -1,0 +1,429 @@
+package rspq
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// engineTierCases covers every dispatcher tier: finite (AC⁰), subword
+// (trC(0)), summary (Ψtr), dag, and the exponential baseline.
+func engineTierCases() []struct {
+	name    string
+	pattern string
+	g       *graph.Graph
+} {
+	return []struct {
+		name    string
+		pattern string
+		g       *graph.Graph
+	}{
+		{"finite", "ab|ba|aab", graph.Random(30, []byte{'a', 'b'}, 0.08, 3)},
+		{"subword", "a*c*", graph.RandomRegular(40, []byte{'a', 'b', 'c'}, 3, 12)},
+		{"summary", "a*(bb+|())c*", graph.RandomRegular(40, []byte{'a', 'b', 'c'}, 3, 7)},
+		{"dag", "(a|b)*a(a|b)*", graph.LayeredDAG(6, 5, 3, []byte{'a', 'b'}, 5)},
+		{"baseline", "a*bba*", graph.Random(40, []byte{'a', 'b'}, 0.05, 21)},
+	}
+}
+
+// checkEngineAgainstSolver compares the engine's answer on every probe
+// pair with the cold per-query path, verifying witnesses on both sides.
+func checkEngineAgainstSolver(t *testing.T, e *Engine, s *Solver, g *graph.Graph, pairs []Pair, tag string) {
+	t.Helper()
+	for _, pq := range pairs {
+		want := s.Solve(g, pq.X, pq.Y)
+		got := e.Solve(pq.X, pq.Y)
+		if got.Found != want.Found {
+			t.Fatalf("%s: Engine.Solve(%d,%d).Found = %v; cold Solve %v",
+				tag, pq.X, pq.Y, got.Found, want.Found)
+		}
+		if !VerifyWitness(got, g, s.Min, pq.X, pq.Y) {
+			t.Fatalf("%s: Engine.Solve(%d,%d) returned invalid witness %v",
+				tag, pq.X, pq.Y, got.Path)
+		}
+		if exists := e.Exists(pq.X, pq.Y); exists != want.Found {
+			t.Fatalf("%s: Engine.Exists(%d,%d) = %v; want %v",
+				tag, pq.X, pq.Y, exists, want.Found)
+		}
+	}
+}
+
+func probePairs(n, count int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, count)
+	// A few shared targets so the table cache actually gets hit.
+	targets := []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)}
+	for i := range pairs {
+		pairs[i] = Pair{X: rng.Intn(n), Y: targets[rng.Intn(len(targets))]}
+	}
+	return pairs
+}
+
+// TestEngineMatchesSolver is the cross-tier equivalence suite: the
+// cached engine must agree with the cold per-query solver on every
+// tier, with repeated rounds so the second pass is served from warm
+// caches, and again after graph mutations (epoch invalidation).
+func TestEngineMatchesSolver(t *testing.T) {
+	for _, c := range engineTierCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := NewSolver(c.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(s, c.g, EngineConfig{})
+			n := c.g.NumVertices()
+			pairs := probePairs(n, 60, int64(n))
+
+			checkEngineAgainstSolver(t, e, s, c.g, pairs, "cold")
+			st := e.Stats()
+			checkEngineAgainstSolver(t, e, s, c.g, pairs, "warm")
+			st2 := e.Stats()
+			if st2.Results.Hits <= st.Results.Hits {
+				t.Fatalf("second pass should hit the result cache: %+v then %+v",
+					st.Results, st2.Results)
+			}
+
+			// Mutate: add edges that change reachability; every cache key
+			// must go stale via the epoch, no purge call anywhere.
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 3; i++ {
+				from, to := rng.Intn(n), rng.Intn(n)
+				if c.name == "dag" && from >= to {
+					from, to = to, from // keep the graph acyclic
+				}
+				if from == to {
+					continue
+				}
+				c.g.AddEdge(from, 'a', to)
+			}
+			checkEngineAgainstSolver(t, e, s, c.g, pairs, "post-mutation")
+			if got := e.Stats().SnapshotRebuilds; got < 2 {
+				t.Fatalf("mutation must force a snapshot rebuild; rebuilds = %d", got)
+			}
+		})
+	}
+}
+
+// TestEngineBatchMatchesSolve pins Engine.BatchSolve and
+// BatchSolveExists to the per-query engine answers, including invalid
+// ids mixed into the batch.
+func TestEngineBatchMatchesSolve(t *testing.T) {
+	for _, c := range engineTierCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := NewSolver(c.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(s, c.g, EngineConfig{})
+			n := c.g.NumVertices()
+			pairs := probePairs(n, 50, 5)
+			pairs = append(pairs, Pair{X: -1, Y: 0}, Pair{X: 0, Y: n}, Pair{X: n + 3, Y: -9})
+
+			out := e.BatchSolve(pairs)
+			bits := e.BatchSolveExists(pairs)
+			for i, pq := range pairs {
+				want := s.Solve(c.g, pq.X, pq.Y)
+				if out[i].Found != want.Found {
+					t.Fatalf("BatchSolve[%d] (%d,%d): Found = %v; want %v",
+						i, pq.X, pq.Y, out[i].Found, want.Found)
+				}
+				if !VerifyWitness(out[i], c.g, s.Min, pq.X, pq.Y) {
+					t.Fatalf("BatchSolve[%d] invalid witness", i)
+				}
+				if bits[i] != want.Found {
+					t.Fatalf("BatchSolveExists[%d] (%d,%d) = %v; want %v",
+						i, pq.X, pq.Y, bits[i], want.Found)
+				}
+			}
+			// A second batch over the same pairs must come mostly from
+			// the result cache.
+			before := e.Stats().Results.Hits
+			out2 := e.BatchSolve(pairs)
+			for i := range out2 {
+				if out2[i].Found != out[i].Found {
+					t.Fatalf("second batch diverged at %d", i)
+				}
+			}
+			if e.Stats().Results.Hits <= before {
+				t.Fatal("repeated batch should hit the result cache")
+			}
+		})
+	}
+}
+
+// TestEngineEvictionUnderPressure shrinks both budgets below the cost
+// of any single entry: tables are then never even exported (the
+// Retainable pre-check skips the copy), results are rejected on
+// arrival, and answers must stay correct throughout.
+func TestEngineEvictionUnderPressure(t *testing.T) {
+	for _, c := range engineTierCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := NewSolver(c.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(s, c.g, EngineConfig{TableBytes: 1, ResultBytes: 1})
+			pairs := probePairs(c.g.NumVertices(), 40, 11)
+			checkEngineAgainstSolver(t, e, s, c.g, pairs, "pressure")
+			st := e.Stats()
+			if st.Tables.Puts != 0 || st.Tables.Entries != 0 {
+				t.Fatalf("un-retainable tables must never be stored: %+v", st.Tables)
+			}
+			if st.Results.Evictions == 0 || st.Results.Entries != 0 {
+				t.Fatalf("1-byte result budget must reject every result: %+v", st.Results)
+			}
+		})
+	}
+}
+
+// TestEngineTableLRUEviction sizes the table budget so each cache
+// shard holds about one backward-BFS table, then queries more distinct
+// targets than shards: by pigeonhole at least one shard sees two
+// tables and must evict the older, while every answer stays correct.
+func TestEngineTableLRUEviction(t *testing.T) {
+	g := graph.RandomRegular(40, []byte{'a', 'b', 'c'}, 3, 12)
+	s, err := NewSolver("a*c*") // subword tier: one goalTable per target
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := 40 * s.Min.NumStates
+	// 16 shards (the cache default): per-shard budget = one table + slack.
+	budget := (goalTableCost(nm) + 64) * 16
+	e := NewEngine(s, g, EngineConfig{TableBytes: budget})
+	for y := 0; y < 40; y++ {
+		for _, x := range []int{0, 7, 23} {
+			if got, want := e.Solve(x, y).Found, s.Solve(g, x, y).Found; got != want {
+				t.Fatalf("(%d,%d): engine %v, cold %v", x, y, got, want)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Tables.Evictions == 0 {
+		t.Fatalf("40 targets over 16 one-table shards must evict: %+v", st.Tables)
+	}
+	if st.Tables.Puts != 40 {
+		t.Fatalf("each target must compute its table exactly once per residence; puts = %d", st.Tables.Puts)
+	}
+}
+
+// TestEngineDisabledCaches runs the engine with both tiers disabled:
+// pure pass-through, still correct.
+func TestEngineDisabledCaches(t *testing.T) {
+	c := engineTierCases()[2] // summary
+	s, err := NewSolver(c.pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s, c.g, EngineConfig{TableBytes: -1, ResultBytes: -1})
+	pairs := probePairs(c.g.NumVertices(), 30, 13)
+	checkEngineAgainstSolver(t, e, s, c.g, pairs, "nocache")
+	st := e.Stats()
+	if st.Tables.Puts != 0 || st.Results.Puts != 0 {
+		t.Fatalf("disabled tiers must never store: %+v", st)
+	}
+}
+
+// TestEngineConcurrentHits hammers one engine from many goroutines
+// over a hot pair set; run under -race this exercises the sharded
+// cache locking and the shared immutable tables, and the answers must
+// all match the precomputed expectation.
+func TestEngineConcurrentHits(t *testing.T) {
+	for _, c := range engineTierCases() {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := NewSolver(c.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(s, c.g, EngineConfig{})
+			pairs := probePairs(c.g.NumVertices(), 24, 17)
+			want := make([]bool, len(pairs))
+			for i, pq := range pairs {
+				want[i] = s.Solve(c.g, pq.X, pq.Y).Found
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for rep := 0; rep < 10; rep++ {
+						for i, pq := range pairs {
+							var got bool
+							if (w+rep)%2 == 0 {
+								got = e.Solve(pq.X, pq.Y).Found
+							} else {
+								got = e.Exists(pq.X, pq.Y)
+							}
+							if got != want[i] {
+								t.Errorf("worker %d: (%d,%d) = %v; want %v",
+									w, pq.X, pq.Y, got, want[i])
+								return
+							}
+						}
+						if (w+rep)%3 == 0 {
+							bits := e.BatchSolveExists(pairs)
+							for i := range bits {
+								if bits[i] != want[i] {
+									t.Errorf("worker %d batch: pair %d = %v; want %v",
+										w, i, bits[i], want[i])
+									return
+								}
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			st := e.Stats()
+			if st.Results.Hits == 0 {
+				t.Fatalf("concurrent hot workload must produce cache hits: %+v", st)
+			}
+		})
+	}
+}
+
+// TestWarmThenMutateThenSolve is the regression for the Warm/epoch
+// consistency fix: a mutation landing between Warm and the query must
+// never be answered from the stale pre-mutation table — by the solver
+// or by an engine built before the mutation.
+func TestWarmThenMutateThenSolve(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'c', 2)
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Warm(g)
+	e := NewEngine(s, g, EngineConfig{})
+	if e.Solve(0, 3).Found {
+		t.Fatal("vertex 3 is isolated; no path expected")
+	}
+	// The mutation invalidates, via the epoch, everything warmed above.
+	g.AddEdge(2, 'c', 3)
+	if !s.Solve(g, 0, 3).Found {
+		t.Fatal("Solver served a stale verdict after mutation")
+	}
+	if !e.Solve(0, 3).Found {
+		t.Fatal("Engine served a stale cached verdict after mutation")
+	}
+	if res := e.Solve(0, 3); !VerifyWitness(res, g, s.Min, 0, 3) {
+		t.Fatal("post-mutation witness invalid")
+	}
+}
+
+// TestWarmEpochRace interleaves a mutator and a warm-then-query loop
+// under the race detector. The test's mutex stands in for the external
+// synchronization the graph contract requires; what the -race run
+// checks is that Warm/Snapshot/Engine keep no unsynchronized internal
+// state of their own, and the assertions check that no interleaving
+// can pair a stale table with a new epoch.
+func TestWarmEpochRace(t *testing.T) {
+	g := graph.New(64)
+	for i := 0; i < 63; i++ {
+		g.AddEdge(i, 'a', i+1)
+	}
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s, g, EngineConfig{})
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	mutatorDone := make(chan struct{})
+
+	go func() { // mutator
+		defer close(mutatorDone)
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			g.AddEdge(rng.Intn(64), 'c', rng.Intn(64))
+			mu.Unlock()
+		}
+	}()
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func(w int) { // warm-then-query loops
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(w + 2)))
+			for i := 0; i < 200; i++ {
+				x, y := rng.Intn(64), rng.Intn(64)
+				mu.Lock()
+				s.Warm(g)
+				got := e.Solve(x, y)
+				want := s.Solve(g, x, y)
+				epoch := g.Epoch()
+				mu.Unlock()
+				if got.Found != want.Found {
+					t.Errorf("worker %d: engine %v vs cold %v for (%d,%d) at epoch %d",
+						w, got.Found, want.Found, x, y, epoch)
+					return
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	<-mutatorDone
+}
+
+// TestEngineStatsShape sanity-checks the counters a server would
+// export.
+func TestEngineStatsShape(t *testing.T) {
+	g := graph.RandomRegular(50, []byte{'a', 'b', 'c'}, 3, 3)
+	s, err := NewSolver("a*(bb+|())c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(s, g, EngineConfig{Workers: 2})
+	pairs := probePairs(50, 20, 23)
+	e.BatchSolve(pairs)
+	e.BatchSolve(pairs)
+	for _, pq := range pairs[:5] {
+		e.Solve(pq.X, pq.Y)
+	}
+	st := e.Stats()
+	if st.Algorithm != "summary" {
+		t.Fatalf("algorithm = %q; want summary", st.Algorithm)
+	}
+	if st.Batches != 2 || st.BatchPairs != int64(2*len(pairs)) || st.Queries != 5 {
+		t.Fatalf("counters off: %+v", st)
+	}
+	if st.Tables.Puts == 0 || st.Results.Hits == 0 {
+		t.Fatalf("caches unused: %+v", st)
+	}
+	if st.SnapshotRebuilds != 1 {
+		t.Fatalf("rebuilds = %d; want 1 (construction only)", st.SnapshotRebuilds)
+	}
+}
+
+// TestEngineLangIDsDistinct guards the (epoch, language, y) key
+// contract: two engines over the same graph but different languages
+// must never cross-serve, even with identical targets.
+func TestEngineLangIDsDistinct(t *testing.T) {
+	g := graph.RandomRegular(40, []byte{'a', 'b', 'c'}, 3, 31)
+	s1, _ := NewSolver("a*c*")
+	s2, _ := NewSolver("b*")
+	if s1.LangID() == s2.LangID() {
+		t.Fatal("distinct solvers must get distinct language ids")
+	}
+	e1 := NewEngine(s1, g, EngineConfig{})
+	e2 := NewEngine(s2, g, EngineConfig{})
+	for x := 0; x < 40; x++ {
+		for _, y := range []int{1, 7} {
+			if e1.Solve(x, y).Found != s1.Solve(g, x, y).Found {
+				t.Fatalf("engine 1 diverged at (%d,%d)", x, y)
+			}
+			if e2.Solve(x, y).Found != s2.Solve(g, x, y).Found {
+				t.Fatalf("engine 2 diverged at (%d,%d)", x, y)
+			}
+		}
+	}
+}

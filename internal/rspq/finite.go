@@ -25,7 +25,7 @@ func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
 		// languages here.
 		return Baseline(g, d, x, y, nil)
 	}
-	return finiteWithWords(g, finiteWords(min), x, y)
+	return finiteWithWords(g.Freeze(), finiteWords(min), x, y)
 }
 
 // finiteWords lists the words of a finite language recognized by the
@@ -44,10 +44,10 @@ func finiteWords(min *automaton.DFA) []string {
 }
 
 // finiteWithWords runs the word-by-word search over a precomputed,
-// (length, lex)-sorted word list.
-func finiteWithWords(g *graph.Graph, words []string, x, y int) Result {
+// (length, lex)-sorted word list against a frozen CSR snapshot.
+func finiteWithWords(csr *graph.CSR, words []string, x, y int) Result {
 	for _, w := range words {
-		if p := wordPath(g, w, x, y); p != nil {
+		if p := wordPath(csr, w, x, y); p != nil {
 			return Result{Found: true, Path: p}
 		}
 	}
@@ -95,7 +95,7 @@ func (s *wsearch) dfs(v, i int) bool {
 // wordPath finds a simple path from x to y spelling exactly w, by
 // depth-first search over the |w| positions against the CSR's
 // label-bucketed adjacency.
-func wordPath(g *graph.Graph, w string, x, y int) *graph.Path {
+func wordPath(csr *graph.CSR, w string, x, y int) *graph.Path {
 	if x == y {
 		if w == "" {
 			return graph.PathAt(x)
@@ -107,7 +107,7 @@ func wordPath(g *graph.Graph, w string, x, y int) *graph.Path {
 	}
 	a := getArena()
 	defer a.release()
-	s := wsearch{csr: g.Freeze(), a: a, w: w, y: y}
+	s := wsearch{csr: csr, a: a, w: w, y: y}
 	a.seen.reset(s.csr.NumVertices())
 	a.seen.add(x)
 	s.vs = append(a.vs[:0], x)

@@ -71,7 +71,13 @@ type product struct {
 }
 
 func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {
-	csr := g.Freeze()
+	return makeProductCSR(g.Freeze(), d, a)
+}
+
+// makeProductCSR builds the product directly over a frozen CSR
+// snapshot, so a long-lived engine can keep answering against the
+// snapshot it validated rather than re-freezing the live graph.
+func makeProductCSR(csr *graph.CSR, d *automaton.DFA, a *arena) product {
 	L := csr.NumLabels()
 	if cap(a.lmap) < L {
 		a.lmap = make([]int16, L)

@@ -2,6 +2,7 @@ package rspq
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/core"
@@ -74,7 +75,19 @@ type Solver struct {
 	// precomputed so the AC⁰-tier search skips re-minimization and
 	// re-enumeration per query; nil for infinite languages.
 	words []string
+
+	// id is a process-unique language identifier, part of every
+	// cross-query cache key (graph epoch, language id, target) so
+	// tables from different languages can never collide even if a
+	// cache is shared between engines.
+	id uint64
 }
+
+// solverIDs hands out process-unique language ids.
+var solverIDs atomic.Uint64
+
+// LangID returns the solver's process-unique language identifier.
+func (s *Solver) LangID() uint64 { return s.id }
 
 // NewSolver compiles a regex pattern into a ready-to-query solver.
 func NewSolver(pattern string) (*Solver, error) {
@@ -93,6 +106,7 @@ func NewSolverFromRegex(r *automaton.Regex) (*Solver, error) {
 		Min:            min,
 		Classification: core.Classify(min, core.EdgeLabeled, nil),
 		SubwordClosed:  SubwordClosed(min),
+		id:             solverIDs.Add(1),
 	}
 	if e, err := psitr.FromRegex(r); err == nil {
 		s.Expr = e
@@ -111,18 +125,29 @@ func NewSolverFromRegex(r *automaton.Regex) (*Solver, error) {
 // after graph construction makes subsequent concurrent queries on g
 // safe and allocation-free at steady state; it is optional for
 // single-goroutine use, where the first query warms the caches.
+//
+// Warm goes through Graph.Snapshot, which retries until the CSR, the
+// dispatch caches and the mutation epoch all belong to one generation:
+// a mutation interleaving with the warming can therefore never leave a
+// stale CSR paired with a newer epoch (or vice versa), which matters to
+// anything — Engine above all — that keys cached tables by epoch.
 func (s *Solver) Warm(g *graph.Graph) {
-	g.Freeze()
-	g.IsAcyclic()
-	g.Alphabet()
+	g.Snapshot()
 }
 
 // ChooseAlgorithm reports how Solve would answer a query on g.
 func (s *Solver) ChooseAlgorithm(g *graph.Graph) Algorithm {
+	return s.algorithmFor(g.IsAcyclic())
+}
+
+// algorithmFor is the dispatch rule given the graph's acyclicity
+// verdict; Engine uses it against a frozen snapshot instead of the
+// live graph.
+func (s *Solver) algorithmFor(acyclic bool) Algorithm {
 	switch {
 	case s.Classification.Finite:
 		return AlgoFinite
-	case g.IsAcyclic():
+	case acyclic:
 		return AlgoDAG
 	case s.SubwordClosed:
 		return AlgoSubword
@@ -156,7 +181,7 @@ func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
 	switch algo {
 	case AlgoFinite:
 		if s.words != nil {
-			return finiteWithWords(g, s.words, x, y)
+			return finiteWithWords(g.Freeze(), s.words, x, y)
 		}
 		return Finite(g, s.Min, x, y)
 	case AlgoSubword:
@@ -195,7 +220,7 @@ func (s *Solver) Shortest(g *graph.Graph, x, y int) Result {
 	switch {
 	case s.Classification.Finite:
 		if s.words != nil {
-			return finiteWithWords(g, s.words, x, y) // tries words in increasing length
+			return finiteWithWords(g.Freeze(), s.words, x, y) // tries words in increasing length
 		}
 		return Finite(g, s.Min, x, y)
 	case g.IsAcyclic():

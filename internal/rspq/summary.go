@@ -232,13 +232,18 @@ type gapSpan struct {
 }
 
 type seqSearcher struct {
-	g        *graph.Graph
 	csr      *graph.CSR
 	n        int
 	x, y     int
 	shortest bool
-	plan     *seqPlan
-	units    []unit // aliases plan.units
+	// existsOnly suppresses witness materialization: the first valid
+	// completion sets found and stops, allocating nothing.
+	existsOnly bool
+	// ext, when non-nil, is a frozen co-reachability table (from a
+	// cross-query cache) used instead of computing coreach.
+	ext   *coTable
+	plan  *seqPlan
+	units []unit // aliases plan.units
 
 	coreach stamped // (v*posCount + s)
 	queue   []int32
@@ -278,9 +283,16 @@ var seqSearcherPool = sync.Pool{New: func() any { return new(seqSearcher) }}
 // (it depends only on g and y — NOT on the source x, which is supplied
 // per run call, so batched queries sharing a target reuse the table).
 func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest bool) *seqSearcher {
+	return acquireSeqSearcherCSR(g.Freeze(), seq, y, shortest, nil)
+}
+
+// acquireSeqSearcherCSR is acquireSeqSearcher against an explicit
+// frozen snapshot, optionally reusing a cached co-reachability table
+// (ext) instead of recomputing it — the summary tier's cross-query
+// cache hit path.
+func acquireSeqSearcherCSR(csr *graph.CSR, seq *psitr.Sequence, y int, shortest bool, ext *coTable) *seqSearcher {
 	ss := seqSearcherPool.Get().(*seqSearcher)
-	ss.g = g
-	ss.csr = g.Freeze()
+	ss.csr = csr
 	ss.n = ss.csr.NumVertices()
 	ss.y = y
 	ss.shortest = shortest
@@ -301,17 +313,34 @@ func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest boo
 	ss.dist = ss.dist[:ss.n]
 	ss.parent = ss.parent[:ss.n]
 	ss.gplabel = ss.gplabel[:ss.n]
-	ss.computeCoReach()
+	ss.ext = ext
+	if ext == nil {
+		ss.computeCoReach()
+	}
 	return ss
 }
 
 func (ss *seqSearcher) release() {
-	ss.g = nil
 	ss.csr = nil
 	ss.plan = nil
 	ss.units = nil
 	ss.best = nil
+	ss.ext = nil
+	ss.existsOnly = false
 	seqSearcherPool.Put(ss)
+}
+
+// exportCoReach freezes the searcher's freshly computed co-reachability
+// table into an immutable coTable suitable for a cross-query cache.
+func (ss *seqSearcher) exportCoReach() *coTable {
+	n := ss.n * ss.plan.posCount
+	t := newCoTable(n)
+	for i := 0; i < n; i++ {
+		if ss.coreach.has(i) {
+			t.set(i)
+		}
+	}
+	return t
 }
 
 // computeCoReach marks the (vertex, position) pairs from which the
@@ -351,6 +380,9 @@ func (ss *seqSearcher) computeCoReach() {
 }
 
 func (ss *seqSearcher) ok(v, pos int) bool {
+	if ss.ext != nil {
+		return ss.ext.has(v*ss.plan.posCount + pos)
+	}
 	return ss.coreach.has(v*ss.plan.posCount + pos)
 }
 
@@ -683,6 +715,13 @@ func (ss *seqSearcher) complete() {
 			return
 		}
 		ss.dstamp.add(v)
+	}
+	if ss.existsOnly {
+		// The completion is valid; the caller only wants the bit, so
+		// skip materializing the witness path.
+		ss.found = true
+		ss.done = true
+		return
 	}
 	if !ss.found || len(als) < ss.best.Len() {
 		ss.found = true

@@ -16,6 +16,10 @@
 //   - Language.BatchSolve / NewBatchSolver: batched evaluation of many
 //     (x, y) pairs with shared per-target pruning tables and a
 //     GOMAXPROCS-sized worker pool;
+//   - Language.NewEngine: a long-lived serving engine whose pruning
+//     tables and hot results survive across queries and batches in
+//     epoch-keyed LRU caches (see internal/cache), invalidated
+//     automatically by graph mutation;
 //   - Language.Classification: the AC⁰ / NL / NP verdict with a
 //     verified hardness witness on the NP side;
 //   - graph construction, generators and serialization re-exported from
@@ -80,6 +84,21 @@ type Pair = rspq.Pair
 // BatchSolver answers many queries on one graph with shared per-target
 // tables and a worker pool; see Language.NewBatchSolver.
 type BatchSolver = rspq.BatchSolver
+
+// Engine is a long-lived serving engine for one (language, graph)
+// pair: it keeps the per-target pruning tables of every algorithm tier
+// and hot query results in epoch-keyed LRU caches so they survive
+// across queries and batches; see Language.NewEngine.
+type Engine = rspq.Engine
+
+// EngineConfig sizes an Engine's cache tiers and worker pool; the zero
+// value selects the defaults (64 MiB of tables, 16 MiB of results,
+// GOMAXPROCS workers). Negative budgets disable a tier.
+type EngineConfig = rspq.EngineConfig
+
+// EngineStats reports an Engine's query counters and per-tier cache
+// hit/miss/eviction statistics.
+type EngineStats = rspq.EngineStats
 
 // Class is a complexity tier of the trichotomy.
 type Class = core.Class
@@ -190,11 +209,34 @@ func (l *Language) BatchSolve(g *Graph, pairs []Pair) []Result {
 	return l.solver.BatchSolve(g, pairs)
 }
 
+// BatchSolveExists answers only the existence bit of every pair —
+// out[i] reports whether pairs[i] has a simple L-labeled path —
+// skipping witness reconstruction entirely. On the walk-reduction
+// tiers (subword-closed languages, DAG inputs) each source costs one
+// O(1) lookup in the shared backward product BFS, so existence-only
+// batches are markedly cheaper than BatchSolve there.
+func (l *Language) BatchSolveExists(g *Graph, pairs []Pair) []bool {
+	return rspq.NewBatchSolver(l.solver, g).SolveExists(pairs)
+}
+
 // NewBatchSolver readies a reusable batch engine for this language on
 // g, warming the graph-side indexes eagerly; the returned engine is
 // safe for concurrent use.
 func (l *Language) NewBatchSolver(g *Graph) *BatchSolver {
 	return rspq.NewBatchSolver(l.solver, g)
+}
+
+// NewEngine builds a long-lived serving engine for this language on g.
+// The engine owns a frozen snapshot of the graph plus two cache tiers:
+// a table cache holding the per-(language, target) pruning tables of
+// all three algorithm tiers, and a result cache for hot (x, y)
+// answers. Cache keys carry the graph's mutation epoch (see
+// (*Graph).Epoch), so mutating g invalidates every cached entry
+// automatically — the next query re-freezes and starts repopulating.
+// The engine is safe for concurrent use; treat Paths in returned
+// Results as immutable, since hot results are shared between callers.
+func (l *Language) NewEngine(g *Graph, cfg EngineConfig) *Engine {
+	return rspq.NewEngine(l.solver, g, cfg)
 }
 
 // SolveWalk answers the classical RPQ (arbitrary walks may repeat

@@ -187,3 +187,38 @@ func TestSolveOutOfRangeFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestEngineFacade(t *testing.T) {
+	lang := MustCompile("a*(bb+|())c*")
+	g := NewGraph(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 3)
+	eng := lang.NewEngine(g, EngineConfig{})
+	if !eng.Solve(0, 3).Found || !eng.Exists(0, 3) {
+		t.Fatal("engine must find the abb path")
+	}
+	eng.Solve(0, 3) // hot repeat
+	st := eng.Stats()
+	if st.Results.Hits == 0 {
+		t.Fatalf("repeat query must hit the result cache: %+v", st)
+	}
+	pairs := []Pair{{X: 0, Y: 3}, {X: 1, Y: 3}, {X: 3, Y: 0}, {X: -1, Y: 2}}
+	out := eng.BatchSolve(pairs)
+	bits := eng.BatchSolveExists(pairs)
+	wantBits := []bool{true, true, false, false}
+	for i := range pairs {
+		if out[i].Found != wantBits[i] || bits[i] != wantBits[i] {
+			t.Fatalf("batch slot %d: Solve=%v Exists=%v; want %v",
+				i, out[i].Found, bits[i], wantBits[i])
+		}
+	}
+	// Mutation invalidates by epoch: a new edge opens a path from 3.
+	g.AddEdge(3, 'c', 0)
+	if !eng.Solve(3, 0).Found {
+		t.Fatal("engine must see the post-mutation edge")
+	}
+	if lang.BatchSolveExists(g, []Pair{{X: 3, Y: 0}})[0] != true {
+		t.Fatal("facade BatchSolveExists must see the new edge")
+	}
+}
