@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve
+.PHONY: check build vet test race bench bench-smoke bench-json serve docs
 
 check: build vet test race
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cache/ ./internal/rspq/
+	$(GO) test -race ./internal/graph/ ./internal/cache/ ./internal/rspq/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -27,3 +27,10 @@ bench-json:
 
 serve:
 	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'
+
+# docs: formatting, vet and doc-reference hygiene — the same gate the
+# CI docs job runs.
+docs:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files need formatting'; exit 1; }
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck README.md docs/ARCHITECTURE.md

@@ -444,6 +444,70 @@ func BenchmarkBatchExists(b *testing.B) {
 	}
 }
 
+// BenchmarkFreeze measures the streaming-mutation refreeze: a ~1% edge
+// delta applied to a frozen 100k-edge graph, refrozen either through
+// the incremental delta merge (graph/delta.go) or the from-scratch
+// rebuild. The incremental path must stay ≥5× faster (tracked in
+// BENCH_<rev>.json as the freeze-* workloads).
+func BenchmarkFreeze(b *testing.B) {
+	const edges = 100_000
+	b.Run("incremental/m=100k-1%", func(b *testing.B) {
+		b.ReportAllocs()
+		g, muts := graph.StreamingWorkload(edges, 0.01, 42)
+		g.Freeze()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			graph.FlipEdges(g, muts)
+			b.StartTimer()
+			g.Freeze()
+		}
+	})
+	b.Run("full/m=100k-1%", func(b *testing.B) {
+		b.ReportAllocs()
+		g, muts := graph.StreamingWorkload(edges, 0.01, 42)
+		g.SetIncrementalFreeze(false)
+		g.Freeze()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			graph.FlipEdges(g, muts)
+			b.StartTimer()
+			g.Freeze()
+		}
+	})
+}
+
+// BenchmarkEngineMutate measures the serving engine under a
+// mutate-heavy workload: every iteration applies a small edge delta
+// and immediately queries, so each query pays one refreeze. With the
+// incremental path the refreeze cost is proportional to the delta;
+// with it disabled every mutation forces a full O(V+E) rebuild.
+func BenchmarkEngineMutate(b *testing.B) {
+	for _, inc := range []struct {
+		name string
+		on   bool
+	}{{"incremental", true}, {"full-rebuild", false}} {
+		b.Run(inc.name+"/m=30k", func(b *testing.B) {
+			b.ReportAllocs()
+			g, muts := graph.StreamingWorkload(30_000, 0.003, 9)
+			g.SetIncrementalFreeze(inc.on)
+			s, err := rspq.NewSolver("a*c*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := rspq.NewEngine(s, g, rspq.EngineConfig{})
+			n := g.NumVertices()
+			rng := rand.New(rand.NewSource(3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.FlipEdges(g, muts[i%len(muts):i%len(muts)+1])
+				eng.Solve(rng.Intn(n), rng.Intn(n))
+			}
+		})
+	}
+}
+
 // BenchmarkCompile measures end-to-end language compilation (parse,
 // determinize, minimize, classify, extract witness, normalize).
 func BenchmarkCompile(b *testing.B) {

@@ -1,0 +1,95 @@
+// Command docscheck verifies that repository paths referenced from the
+// markdown docs actually exist, so README/ARCHITECTURE rot is caught
+// by `make docs` and the CI docs job instead of by a reader.
+//
+//	docscheck README.md docs/ARCHITECTURE.md
+//
+// Two kinds of references are checked, resolved against the current
+// working directory (the repo root in CI):
+//
+//   - relative markdown link targets: [text](docs/ARCHITECTURE.md)
+//     (absolute URLs and in-page #anchors are ignored);
+//   - inline-code path tokens naming checked-in files or directories:
+//     `internal/rspq/batch.go`, `cmd/rspqd`, `examples/streaming` —
+//     any backticked token rooted at cmd/, internal/, docs/ or
+//     examples/, or a root-level *.go / *.md / Makefile reference.
+//     Tokens containing placeholders (<rev>, *, …) are skipped.
+//
+// Exit status 1 lists every dangling reference with its file and line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+var (
+	mdLink    = regexp.MustCompile(`\]\(([^)]+)\)`)
+	codeToken = regexp.MustCompile("`([^`]+)`")
+	// pathish matches tokens worth checking: rooted in a known tree, or
+	// a root-level Go/markdown file or the Makefile.
+	pathish = regexp.MustCompile(`^(?:(?:cmd|internal|docs|examples)(?:/[A-Za-z0-9_.\-]+)*|[A-Za-z0-9_.\-]+\.(?:go|md)|Makefile)$`)
+)
+
+// checkFile scans one markdown file and returns its dangling
+// references as "file:line: ref" strings.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bad []string
+	seen := map[string]bool{}
+	check := func(line int, ref string) {
+		ref = strings.TrimSuffix(ref, "/")
+		if seen[ref] || strings.ContainsAny(ref, "<>*|{} ") {
+			return
+		}
+		seen[ref] = true
+		if _, err := os.Stat(ref); err != nil {
+			bad = append(bad, fmt.Sprintf("%s:%d: %s", path, line, ref))
+		}
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			ref := m[1]
+			if strings.Contains(ref, "://") || strings.HasPrefix(ref, "#") || strings.HasPrefix(ref, "mailto:") {
+				continue
+			}
+			ref, _, _ = strings.Cut(ref, "#") // strip in-page anchors
+			check(i+1, ref)
+		}
+		for _, m := range codeToken.FindAllStringSubmatch(line, -1) {
+			if pathish.MatchString(m[1]) {
+				check(i+1, m[1])
+			}
+		}
+	}
+	return bad, nil
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md"}
+	}
+	var bad []string
+	for _, f := range files {
+		b, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		bad = append(bad, b...)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d dangling reference(s):\n", len(bad))
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "  "+b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}

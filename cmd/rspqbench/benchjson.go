@@ -124,6 +124,18 @@ func benchWorkloads() []struct {
 	subwordBatch := rspq.NewBatchSolver(subword, subwordG)
 	subwordPairs := batchPairs(400, 7)
 
+	// Mutate-heavy streaming workloads: a ~1% edge delta applied to a
+	// frozen 100k-edge graph, refrozen through the incremental delta
+	// merge vs the from-scratch rebuild — the acceptance bar is that
+	// incremental stays ≥5× faster on this shape. The workload shape
+	// is shared with BenchmarkFreeze (graph.StreamingWorkload), so the
+	// recorded numbers and the acceptance benchmark cannot drift apart.
+	freezeIncG, freezeMuts := graph.StreamingWorkload(100_000, 0.01, 42)
+	freezeIncG.Freeze()
+	freezeFullG, _ := graph.StreamingWorkload(100_000, 0.01, 42)
+	freezeFullG.SetIncrementalFreeze(false)
+	freezeFullG.Freeze()
+
 	return []struct {
 		name string
 		fn   func(b *testing.B)
@@ -218,6 +230,22 @@ func benchWorkloads() []struct {
 		{"batch-full-subword/256q-8t", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				subwordBatch.Solve(subwordPairs)
+			}
+		}},
+		{"freeze-incremental/m=100k-1pct", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				graph.FlipEdges(freezeIncG, freezeMuts)
+				b.StartTimer()
+				freezeIncG.Freeze()
+			}
+		}},
+		{"freeze-full/m=100k-1pct", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				graph.FlipEdges(freezeFullG, freezeMuts)
+				b.StartTimer()
+				freezeFullG.Freeze()
 			}
 		}},
 	}

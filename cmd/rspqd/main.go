@@ -13,15 +13,23 @@
 //	POST /query  {"x":0,"y":3}                      one query
 //	POST /query  {"x":0,"y":3,"exists_only":true}   existence bit only
 //	POST /batch  {"pairs":[{"x":0,"y":3},...]}      many queries
-//	POST /edge   {"from":3,"label":"c","to":0}      mutate the graph
+//	POST /edge   {"from":3,"label":"c","to":0}      add one edge
+//	POST /edges  {"add":[...],"remove":[...]}       bulk edge delta
 //	GET  /stats                                     engine + cache stats
 //
 // The graph file uses the line format of internal/graph ("n <count>" /
-// "e <from> <label> <to>"). POST /edge demonstrates the epoch
-// machinery end to end: the mutation bumps the graph's epoch, so every
-// cached table and result goes stale automatically and the next query
-// re-freezes the snapshot. Mutations take the server's write lock;
-// queries share a read lock.
+// "e <from> <label> <to>"). The mutation endpoints demonstrate the
+// epoch machinery end to end: a mutation bumps the graph's epoch, so
+// every cached table and result goes stale automatically and the next
+// query re-freezes the snapshot — incrementally, by merging the
+// accumulated delta into the previous CSR (graph/delta.go), so a
+// streaming client that interleaves /edges batches with queries never
+// pays a full O(V+E) rebuild per mutation epoch. POST /edges applies a
+// whole delta batch (adds and tombstoned removes) under one write-lock
+// acquisition — the epoch advances per applied mutation, but the whole
+// batch is answered by a single incremental refreeze on the next
+// query. Mutations take the server's write lock; queries share a read
+// lock.
 package main
 
 import (
@@ -67,6 +75,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/edge", s.handleEdge)
+	mux.HandleFunc("/edges", s.handleEdges)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
@@ -167,6 +176,62 @@ func (s *server) handleEdge(w http.ResponseWriter, r *http.Request) {
 	}
 	s.g.AddEdge(req.From, req.Label[0], req.To)
 	writeJSON(w, map[string]any{"epoch": s.g.Epoch(), "edges": s.g.NumEdges()})
+}
+
+// edgesRequest is one bulk delta: edges to add and edges to remove,
+// applied together under a single write-lock acquisition.
+type edgesRequest struct {
+	Add    []edgeRequest `json:"add,omitempty"`
+	Remove []edgeRequest `json:"remove,omitempty"`
+}
+
+// edgesResponse reports what the delta did: how many adds inserted a
+// new edge (duplicates are no-ops), how many removes hit an existing
+// edge, and the epoch/edge-count after the batch.
+type edgesResponse struct {
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Epoch   uint64 `json:"epoch"`
+	Edges   int    `json:"edges"`
+}
+
+// handleEdges applies a bulk edge delta. The whole batch is validated
+// before anything is applied, so a bad entry rejects the batch instead
+// of leaving it half-applied; removals of absent edges are tolerated
+// no-ops (tombstone semantics), matching graph.RemoveEdge.
+func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req edgesRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.g.NumVertices()
+	for i, e := range append(append([]edgeRequest(nil), req.Add...), req.Remove...) {
+		if len(e.Label) != 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("entry %d: label must be a single byte", i))
+			return
+		}
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("entry %d: vertex out of range [0,%d)", i, n))
+			return
+		}
+	}
+	var resp edgesResponse
+	for _, e := range req.Add {
+		if !s.g.HasEdge(e.From, e.Label[0], e.To) {
+			s.g.AddEdge(e.From, e.Label[0], e.To)
+			resp.Added++
+		}
+	}
+	for _, e := range req.Remove {
+		if s.g.RemoveEdge(e.From, e.Label[0], e.To) {
+			resp.Removed++
+		}
+	}
+	resp.Epoch = s.g.Epoch()
+	resp.Edges = s.g.NumEdges()
+	writeJSON(w, resp)
 }
 
 type statsResponse struct {

@@ -137,6 +137,64 @@ func TestEdgeMutationInvalidates(t *testing.T) {
 	}
 }
 
+// TestEdgesBulkDelta drives the streaming path: a bulk delta of adds
+// and removes applied in one request, answered by an incremental
+// refreeze on the next query rather than a full rebuild.
+func TestEdgesBulkDelta(t *testing.T) {
+	srv, ts := testServer(t)
+	// Warm the engine so the graph is frozen and a merge base exists.
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, nil)
+	epochBefore := srv.g.Epoch()
+
+	var resp edgesResponse
+	postJSON(t, ts.URL+"/edges",
+		`{"add":[{"from":3,"label":"c","to":0},{"from":0,"label":"a","to":1},{"from":0,"label":"a","to":2}],
+		  "remove":[{"from":1,"label":"b","to":2},{"from":1,"label":"b","to":2}]}`, &resp)
+	// One add is a duplicate no-op; the second remove hits a tombstone.
+	if resp.Added != 2 || resp.Removed != 1 {
+		t.Fatalf("delta = %+v; want added=2 removed=1", resp)
+	}
+	if resp.Epoch <= epochBefore || resp.Edges != 4 {
+		t.Fatalf("delta = %+v; want bumped epoch and 4 edges", resp)
+	}
+
+	// The removed edge breaks 0→3; the added edge opens 3→0.
+	var q queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, &q)
+	if q.Found {
+		t.Fatal("path 0→3 must be gone after removing (1,b,2)")
+	}
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &q)
+	if !q.Found || q.Path == nil || q.Path.Word != "c" {
+		t.Fatalf("post-delta query(3,0) = %+v; want path c", q)
+	}
+	// The first delta introduced label 'c', an alphabet change, so that
+	// refreeze was a (correct) full rebuild. A second delta within the
+	// now-known alphabet must take the incremental merge path.
+	postJSON(t, ts.URL+"/edges", `{"add":[{"from":2,"label":"c","to":0}],"remove":[{"from":0,"label":"a","to":1}]}`, &resp)
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &q)
+	if !q.Found {
+		t.Fatal("3 -c-> 0 must survive the second delta")
+	}
+	if _, inc := srv.g.FreezeStats(); inc == 0 {
+		t.Fatal("same-alphabet delta must be merged incrementally, not rebuilt")
+	}
+
+	// Validation rejects the whole batch before applying anything.
+	edgesBefore := srv.g.NumEdges()
+	if r := postJSON(t, ts.URL+"/edges",
+		`{"add":[{"from":0,"label":"a","to":2},{"from":0,"label":"a","to":99}]}`, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range entry: status %d; want 400", r.StatusCode)
+	}
+	if r := postJSON(t, ts.URL+"/edges",
+		`{"remove":[{"from":0,"label":"zz","to":1}]}`, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("multi-byte label: status %d; want 400", r.StatusCode)
+	}
+	if srv.g.NumEdges() != edgesBefore {
+		t.Fatal("rejected batches must not be partially applied")
+	}
+}
+
 func TestStatsEndpoint(t *testing.T) {
 	_, ts := testServer(t)
 	// Two identical queries: the second must be a result-cache hit.

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStreamingExampleRuns executes the example end to end so it
+// cannot rot: it must complete without error, report incremental
+// freezes, and never fall back to full rebuilds after the initial
+// build (the deltas stay small and within the base alphabet).
+func TestStreamingExampleRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("streaming example failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "freezes: 1 full") {
+		t.Fatalf("expected exactly one full freeze (the initial build); output:\n%s", s)
+	}
+	if strings.Contains(s, "0 incremental") {
+		t.Fatalf("expected incremental freezes; output:\n%s", s)
+	}
+}

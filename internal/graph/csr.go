@@ -34,14 +34,33 @@ type CSR struct {
 }
 
 // Freeze returns the CSR snapshot of the graph, building it on first
-// use and caching it until the next mutation (AddEdge / AddVertex).
+// use and caching it until the next mutation (AddEdge / RemoveEdge /
+// AddVertex). After a mutation, Freeze prefers the incremental path:
+// the mutations accumulated since the last snapshot are merged into it
+// (delta.go) in time proportional to the delta and the buckets it
+// touches, rather than rebuilding and re-sorting all E edges — the
+// full rebuild only runs for the first freeze, after an alphabet
+// change, when the delta exceeds deltaMergeLimit of the base, or when
+// SetIncrementalFreeze(false) disabled merging.
+//
 // Call Freeze after construction and before sharing the graph across
 // goroutines; the returned CSR itself is immutable and safe for
 // concurrent readers. A CSR obtained before a mutation remains valid as
-// a snapshot of the pre-mutation graph.
+// a snapshot of the pre-mutation graph (incremental merges allocate
+// fresh arrays, never touching snapshots already handed out).
 func (g *Graph) Freeze() *CSR {
 	if g.csr == nil {
-		g.csr = buildCSR(g)
+		if g.canMergeDelta() {
+			g.csr = g.mergeCSR()
+			g.incBuilds.Add(1)
+		} else {
+			g.csr = buildCSR(g)
+			g.fullBuilds.Add(1)
+		}
+		if !g.incDisabled {
+			g.csrBase = g.csr
+		}
+		g.addBuf, g.delBuf = nil, nil
 	}
 	return g.csr
 }

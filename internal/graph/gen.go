@@ -249,3 +249,35 @@ func Lollipop(pathLen, cliqueSize int) (g *Graph, source, target int) {
 	target = clique[cliqueSize-1]
 	return g, source, target
 }
+
+// StreamingWorkload synthesizes the mutate-heavy benchmark shape shared
+// by BenchmarkFreeze and the freeze-* workloads of rspqbench: a random
+// graph with m edges over m/3 vertices and labels {a,b,c}, plus a
+// mutation set of ⌈ratio·m⌉ random edges to be applied with FlipEdges.
+// Deterministic in seed.
+func StreamingWorkload(m int, ratio float64, seed int64) (*Graph, []Edge) {
+	n := m / 3
+	g := New(n)
+	rng := rand.New(rand.NewSource(seed))
+	labels := []byte{'a', 'b', 'c'}
+	for g.NumEdges() < m {
+		g.AddEdge(rng.Intn(n), labels[rng.Intn(len(labels))], rng.Intn(n))
+	}
+	muts := make([]Edge, int(float64(m)*ratio))
+	for i := range muts {
+		muts[i] = Edge{From: rng.Intn(n), Label: labels[rng.Intn(len(labels))], To: rng.Intn(n)}
+	}
+	return g, muts
+}
+
+// FlipEdges applies one mutation epoch of a streaming workload: every
+// edge in muts is removed when present and added otherwise, so repeated
+// application churns the CSR while keeping the graph near its original
+// size (and its alphabet fixed, so refreezes stay mergeable).
+func FlipEdges(g *Graph, muts []Edge) {
+	for _, e := range muts {
+		if !g.RemoveEdge(e.From, e.Label, e.To) {
+			g.AddEdge(e.From, e.Label, e.To)
+		}
+	}
+}

@@ -29,6 +29,13 @@ type Edge struct {
 // recompute per call — the alphabet, acyclicity and the CSR snapshot
 // (see Freeze) — is cached on first use and invalidated by mutation, so
 // a warm graph answers these in O(1).
+//
+// Mutating an already-frozen graph does not discard the frozen CSR:
+// mutations accumulate in a delta overlay (added edges, removed-edge
+// tombstones) against the last snapshot, and the next Freeze merges the
+// delta into it instead of rebuilding from scratch — see delta.go. Each
+// mutation still advances the Epoch, so epoch-keyed caches built on top
+// (rspq.Engine) invalidate exactly as before.
 type Graph struct {
 	out   [][]Edge
 	in    [][]Edge
@@ -41,6 +48,22 @@ type Graph struct {
 	csr        *CSR
 	acyclic    int8 // 0 unknown, 1 acyclic, 2 cyclic
 
+	// labelCount tracks how many edges carry each label, so the
+	// alphabet is derivable in O(256) after any mutation instead of an
+	// O(E) rescan.
+	labelCount [256]int
+
+	// Incremental-freeze state (delta.go): the CSR the pending delta is
+	// relative to, the add/remove buffers recording every edge mutation
+	// since csrBase was built, and the freeze counters. csrBase == nil
+	// means the next Freeze rebuilds from scratch.
+	csrBase     *CSR
+	addBuf      map[Edge]struct{}
+	delBuf      map[Edge]struct{}
+	incDisabled bool
+	fullBuilds  atomic.Uint64
+	incBuilds   atomic.Uint64
+
 	// epoch counts mutations (see Epoch). It is atomic so long-lived
 	// engines may poll it for staleness without synchronizing with the
 	// mutator; everything else on the graph keeps the documented
@@ -48,13 +71,17 @@ type Graph struct {
 	epoch atomic.Uint64
 }
 
-// invalidate drops every derived cache and advances the mutation epoch;
-// called by all mutating methods.
+// invalidate drops the caches a mutation may falsify and advances the
+// mutation epoch. The acyclicity verdict is NOT dropped here — each
+// mutator keeps it when the mutation provably cannot flip it (see
+// AddEdge / RemoveEdge / AddVertex), so acyclicity is revalidated
+// incrementally only when a delta could actually create or break a
+// cycle. The last frozen CSR survives as the merge base for the next
+// incremental Freeze.
 func (g *Graph) invalidate() {
 	g.alpha = nil
 	g.alphaValid = false
 	g.csr = nil
-	g.acyclic = 0
 	g.epoch.Add(1)
 }
 
@@ -82,7 +109,10 @@ func (g *Graph) NumVertices() int { return len(g.out) }
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int { return g.edges }
 
-// AddVertex appends an isolated vertex and returns its id.
+// AddVertex appends an isolated vertex and returns its id. An isolated
+// vertex can neither create nor break a cycle, so the cached acyclicity
+// verdict survives; the CSR delta overlay records only the row-count
+// growth.
 func (g *Graph) AddVertex() int {
 	g.invalidate()
 	g.out = append(g.out, nil)
@@ -110,6 +140,13 @@ func (g *Graph) Name(v int) string {
 // AddEdge inserts the labeled edge (from, label, to). Parallel edges with
 // different labels are allowed; inserting the exact same edge twice is a
 // no-op, matching the set semantics E ⊆ V×Σ×V of the paper.
+//
+// On a frozen graph the insertion is recorded in the delta overlay, so
+// the next Freeze merges it into the existing CSR instead of rebuilding
+// (see delta.go). The cached acyclicity verdict is kept when it cannot
+// change: an edge added to a cyclic graph leaves it cyclic, and a
+// self-loop makes any graph cyclic; only an acyclic graph gaining a
+// non-loop edge needs revalidation (deferred to the next IsAcyclic).
 func (g *Graph) AddEdge(from int, label byte, to int) {
 	for _, e := range g.out[from] {
 		if e.Label == label && e.To == to {
@@ -121,6 +158,75 @@ func (g *Graph) AddEdge(from int, label byte, to int) {
 	g.out[from] = append(g.out[from], e)
 	g.in[to] = append(g.in[to], e)
 	g.edges++
+	g.labelCount[label]++
+	switch {
+	case from == to:
+		g.acyclic = 2
+	case g.acyclic == 1:
+		g.acyclic = 0
+	}
+	if g.csrBase != nil {
+		if _, ok := g.delBuf[e]; ok {
+			delete(g.delBuf, e) // re-adding a tombstoned base edge
+		} else {
+			if g.addBuf == nil {
+				g.addBuf = make(map[Edge]struct{})
+			}
+			g.addBuf[e] = struct{}{}
+		}
+	}
+}
+
+// RemoveEdge deletes the labeled edge (from, label, to) and reports
+// whether it was present; removing a missing edge (including one with
+// out-of-range endpoints) is a no-op returning false, and does not
+// advance the epoch.
+//
+// On a frozen graph the removal is recorded as a tombstone in the delta
+// overlay, so the next Freeze merges it into the existing CSR instead
+// of rebuilding (see delta.go). The cached acyclicity verdict is kept
+// when it cannot change: removing an edge from an acyclic graph leaves
+// it acyclic; only a cyclic graph losing an edge needs revalidation
+// (deferred to the next IsAcyclic).
+func (g *Graph) RemoveEdge(from int, label byte, to int) bool {
+	if from < 0 || from >= len(g.out) || to < 0 || to >= len(g.out) {
+		return false
+	}
+	oi := -1
+	for i, e := range g.out[from] {
+		if e.Label == label && e.To == to {
+			oi = i
+			break
+		}
+	}
+	if oi < 0 {
+		return false
+	}
+	g.invalidate()
+	g.out[from] = append(g.out[from][:oi], g.out[from][oi+1:]...)
+	for i, e := range g.in[to] {
+		if e.Label == label && e.From == from {
+			g.in[to] = append(g.in[to][:i], g.in[to][i+1:]...)
+			break
+		}
+	}
+	g.edges--
+	g.labelCount[label]--
+	if g.acyclic == 2 {
+		g.acyclic = 0
+	}
+	if g.csrBase != nil {
+		e := Edge{From: from, Label: label, To: to}
+		if _, ok := g.addBuf[e]; ok {
+			delete(g.addBuf, e) // the edge never made it into the base
+		} else {
+			if g.delBuf == nil {
+				g.delBuf = make(map[Edge]struct{})
+			}
+			g.delBuf[e] = struct{}{}
+		}
+	}
+	return true
 }
 
 // AddWordEdge inserts a path of fresh intermediate vertices spelling the
@@ -165,20 +271,18 @@ func (g *Graph) HasEdge(from int, label byte, to int) bool {
 }
 
 // Alphabet returns the set of labels used by the graph's edges. The
-// result is cached until the next mutation; the returned slice must not
-// be modified.
+// result is derived from per-label edge counts maintained by AddEdge /
+// RemoveEdge, so recomputing it after a mutation is O(256) rather than
+// an O(E) rescan; it is cached until the next mutation. The returned
+// slice must not be modified.
 func (g *Graph) Alphabet() automaton.Alphabet {
 	if g.alphaValid {
 		return g.alpha
 	}
-	var seen [256]bool
 	var labels []byte
-	for _, es := range g.out {
-		for _, e := range es {
-			if !seen[e.Label] {
-				seen[e.Label] = true
-				labels = append(labels, e.Label)
-			}
+	for b, c := range g.labelCount {
+		if c > 0 {
+			labels = append(labels, byte(b))
 		}
 	}
 	g.alpha = automaton.NewAlphabet(labels...)
@@ -205,8 +309,13 @@ func (g *Graph) Edges() []Edge {
 }
 
 // IsAcyclic reports whether the graph is a DAG (ignoring labels). The
-// verdict is cached until the next mutation, so per-query dispatch on a
-// warm graph does not rescan the edges.
+// verdict is cached, and a mutation drops it only when it could
+// actually flip: adding a non-loop edge to an acyclic graph, or
+// removing an edge from a cyclic one. All other mutations (isolated
+// vertices, edges added to an already-cyclic graph, edges removed from
+// an acyclic one, self-loops — which decide the verdict outright) keep
+// or refine the cached answer, so streaming workloads rarely pay the
+// O(V+E) recheck.
 func (g *Graph) IsAcyclic() bool {
 	if g.acyclic != 0 {
 		return g.acyclic == 1

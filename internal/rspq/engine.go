@@ -53,18 +53,22 @@ type EngineConfig struct {
 	Workers int
 }
 
-// EngineStats is a point-in-time snapshot of an Engine's counters;
-// the cache stats make hits, misses and evictions of both tiers
-// observable (see Engine.Stats).
+// EngineStats is a point-in-time snapshot of an Engine's counters; the
+// cache stats make hits, misses and evictions of both tiers observable,
+// and the freeze counters split the graph's CSR builds into full
+// rebuilds versus incremental delta merges — on a streaming workload
+// IncrementalFreezes should dominate (see Engine.Stats).
 type EngineStats struct {
-	Epoch            uint64      `json:"epoch"`
-	Algorithm        string      `json:"algorithm"`
-	Queries          int64       `json:"queries"`
-	Batches          int64       `json:"batches"`
-	BatchPairs       int64       `json:"batch_pairs"`
-	SnapshotRebuilds int64       `json:"snapshot_rebuilds"`
-	Tables           cache.Stats `json:"tables"`
-	Results          cache.Stats `json:"results"`
+	Epoch              uint64      `json:"epoch"`
+	Algorithm          string      `json:"algorithm"`
+	Queries            int64       `json:"queries"`
+	Batches            int64       `json:"batches"`
+	BatchPairs         int64       `json:"batch_pairs"`
+	SnapshotRebuilds   int64       `json:"snapshot_rebuilds"`
+	FullFreezes        uint64      `json:"full_freezes"`
+	IncrementalFreezes uint64      `json:"incremental_freezes"`
+	Tables             cache.Stats `json:"tables"`
+	Results            cache.Stats `json:"results"`
 }
 
 // table kinds, part of tableKey so the three tiers share one cache.
@@ -258,6 +262,15 @@ func (e *Engine) Solver() *Solver { return e.s }
 // when the graph's epoch has moved past the snapshot's. Cached tables
 // and results need no purging — their keys carry the old epoch and
 // simply stop matching.
+//
+// This is the cheap-refreeze fast path of streaming workloads: the
+// rebuild goes through graph.Snapshot, whose Freeze merges the pending
+// mutation delta into the previous CSR in time proportional to the
+// delta (graph/delta.go) instead of re-sorting all E edges, and whose
+// acyclicity verdict is revalidated only when the delta could actually
+// have flipped it. A mutation between queries therefore costs roughly
+// the delta size, not O(V+E) — EngineStats.IncrementalFreezes counts
+// how often this path was taken.
 func (e *Engine) snapshot() *engineSnap {
 	if s := e.snap.Load(); s != nil && s.epoch == e.g.Epoch() {
 		return s
@@ -284,6 +297,7 @@ func (e *Engine) Stats() EngineStats {
 		BatchPairs:       e.batchPairs.Load(),
 		SnapshotRebuilds: e.rebuilds.Load(),
 	}
+	st.FullFreezes, st.IncrementalFreezes = e.g.FreezeStats()
 	if snap != nil {
 		st.Epoch = snap.epoch
 		st.Algorithm = snap.algo.String()

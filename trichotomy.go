@@ -43,10 +43,15 @@
 //     AddVertex/AddEdge, then query. The first query freezes the graph
 //     into a label-indexed CSR snapshot (contiguous per-label adjacency
 //     in both directions) and caches the alphabet and acyclicity
-//     verdicts; any later mutation invalidates the caches and the next
-//     query re-freezes. Call Language.Warm(g) after construction to
-//     freeze eagerly — required before querying one graph from many
-//     goroutines, optional otherwise.
+//     verdicts. Every mutation (AddEdge, RemoveEdge, AddVertex)
+//     advances the graph's mutation epoch (Graph.Epoch) and accumulates
+//     in a delta overlay; the next query re-freezes INCREMENTALLY,
+//     merging the delta into the previous snapshot in time proportional
+//     to the delta rather than rebuilding all E edges, so streaming
+//     workloads interleave mutation and query cheaply. Call
+//     Language.Warm(g) after construction to freeze eagerly — required
+//     before querying one graph from many goroutines, optional
+//     otherwise.
 //   - Compile precomputes everything language-side: the minimal DFA,
 //     its reverse-transition index, the sorted word list of finite
 //     languages, and the memoized Ψtr evaluation plans.
@@ -63,8 +68,16 @@ import (
 	"repro/internal/rspq"
 )
 
-// Graph is an edge-labeled directed graph (db-graph).
+// Graph is an edge-labeled directed graph (db-graph). It is mutable —
+// AddVertex / AddEdge / RemoveEdge — with every mutation advancing its
+// epoch (Epoch) and recorded in a delta overlay, so re-freezing after a
+// mutation merges the delta into the previous CSR snapshot instead of
+// rebuilding; FreezeStats reports the full/incremental split.
 type Graph = graph.Graph
+
+// Edge is one labeled directed edge of a Graph, the unit of the bulk
+// mutation APIs (and of rspqd's /edges endpoint).
+type Edge = graph.Edge
 
 // VGraph is a vertex-labeled graph.
 type VGraph = graph.VGraph
@@ -186,23 +199,35 @@ func (l *Language) Member(word string) bool { return l.solver.Min.Member(word) }
 // Warm eagerly builds the graph-side query indexes (the CSR snapshot
 // and dispatch caches) that the first query would otherwise build
 // lazily. Call it after graph construction when g will be queried from
-// multiple goroutines; single-goroutine use may skip it.
+// multiple goroutines; single-goroutine use may skip it. Warming after
+// a mutation is cheap: the snapshot is refreshed by merging the
+// pending delta into the previous CSR, and the (CSR, acyclicity,
+// epoch) triple is guaranteed consistent even if a mutation interleaves
+// (see Graph.Snapshot).
 func (l *Language) Warm(g *Graph) { l.solver.Warm(g) }
 
 // Solve answers RSPQ(L): is there a simple L-labeled path from x to y?
-// The evaluation strategy follows the trichotomy (finite search,
-// subword-closed walk reduction, Ψtr summary algorithm, or exact
-// exponential backtracking on the NP side).
+// The evaluation strategy follows the trichotomy — finite search on the
+// AC⁰ tier, the subword-closed walk reduction or Ψtr summary algorithm
+// on the NL tier, exact exponential backtracking on the NP side (where
+// worst-case exponential time is expected). Queries always observe the
+// graph's current epoch: a mutation between calls makes the next Solve
+// re-freeze (incrementally) before answering.
 func (l *Language) Solve(g *Graph, x, y int) Result { return l.solver.Solve(g, x, y) }
 
-// Shortest returns a shortest simple L-labeled path from x to y.
+// Shortest returns a shortest simple L-labeled path from x to y, using
+// the best exact strategy for the language's tier (the NP tier pays
+// exponential worst-case time). Like Solve, it observes the graph's
+// current mutation epoch.
 func (l *Language) Shortest(g *Graph, x, y int) Result { return l.solver.Shortest(g, x, y) }
 
 // BatchSolve answers many (x, y) queries at once. Queries are grouped
 // by target so each group shares its co-reachability / backward-BFS
 // pruning table (those depend only on the target), and groups run on a
 // worker pool sized to GOMAXPROCS. out[i] answers pairs[i];
-// out-of-range vertex ids yield Result{Found: false} like Solve. For
+// out-of-range vertex ids yield Result{Found: false} like Solve. Each
+// pair is answered on its tier's algorithm against the graph's current
+// epoch; shared tables live only for the duration of the batch. For
 // repeated batches on one graph, build a BatchSolver once with
 // NewBatchSolver instead.
 func (l *Language) BatchSolve(g *Graph, pairs []Pair) []Result {
@@ -221,7 +246,9 @@ func (l *Language) BatchSolveExists(g *Graph, pairs []Pair) []bool {
 
 // NewBatchSolver readies a reusable batch engine for this language on
 // g, warming the graph-side indexes eagerly; the returned engine is
-// safe for concurrent use.
+// safe for concurrent use. Each batch dispatches on the graph's state
+// at call time, so a mutation between batches is picked up by the next
+// batch's (incremental) refreeze.
 func (l *Language) NewBatchSolver(g *Graph) *BatchSolver {
 	return rspq.NewBatchSolver(l.solver, g)
 }
@@ -233,8 +260,11 @@ func (l *Language) NewBatchSolver(g *Graph) *BatchSolver {
 // answers. Cache keys carry the graph's mutation epoch (see
 // (*Graph).Epoch), so mutating g invalidates every cached entry
 // automatically — the next query re-freezes and starts repopulating.
-// The engine is safe for concurrent use; treat Paths in returned
-// Results as immutable, since hot results are shared between callers.
+// The refreeze is incremental (a delta merge, not an O(V+E) rebuild),
+// so interleaving small mutation batches with queries is cheap; see
+// EngineStats.IncrementalFreezes. The engine is safe for concurrent
+// use; treat Paths in returned Results as immutable, since hot results
+// are shared between callers.
 func (l *Language) NewEngine(g *Graph, cfg EngineConfig) *Engine {
 	return rspq.NewEngine(l.solver, g, cfg)
 }
