@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json serve docs
+.PHONY: check build vet test race bench bench-smoke bench-json bench-shard serve docs
 
 check: build vet test race
 
@@ -20,10 +20,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=100x .
+	$(GO) test -run '^$$' -bench . -benchtime=100x -short .
 
 bench-json:
 	$(GO) run ./cmd/rspqbench -benchjson auto
+
+# bench-shard: just the sharded frontier-exchange workloads (1M-edge
+# graph, K=1/4/16 vs unsharded) — the CI shard smoke test.
+bench-shard:
+	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-shard.json -workloads shard
 
 serve:
 	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'

@@ -444,13 +444,76 @@ func BenchmarkBatchExists(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedBFS measures the tentpole: the frontier-exchange
+// product BFS across snapshot partition sizes, on a 1M-edge generated
+// graph (120k under -short so the CI bench smoke stays quick). The
+// workload is a grouped existence batch over two hot targets of the
+// flooding language (a|b|c)* — the shape where each group's backward
+// BFS dominates and per-target batching alone yields no parallelism,
+// so all speedup must come from the partition: locality on one core
+// (per-shard state and outbox streams replace whole-graph random
+// access), plus min(K, GOMAXPROCS)-way parallel expansion on multicore
+// hardware. K=1 short-circuits to the sequential kernel, so its bar is
+// parity with "unsharded".
+func BenchmarkShardedBFS(b *testing.B) {
+	edges := 1_000_000
+	if testing.Short() {
+		edges = 120_000
+	}
+	g, _ := graph.StreamingWorkload(edges, 0, 91)
+	s, err := rspq.NewSolver("(a|b|c)*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(17))
+	pairs := make([]rspq.Pair, 0, 64)
+	for t := 0; t < 2; t++ {
+		y := rng.Intn(n)
+		for i := 0; i < 32; i++ {
+			pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+		}
+	}
+	for _, k := range []int{0, 1, 4, 8, 16} {
+		name := fmt.Sprintf("K=%d", k)
+		if k == 0 {
+			name = "unsharded"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			g.SetShards(k)
+			s.Warm(g)
+			bs := rspq.NewBatchSolver(s, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.SolveExists(pairs)
+			}
+		})
+	}
+}
+
 // BenchmarkFreeze measures the streaming-mutation refreeze: a ~1% edge
 // delta applied to a frozen 100k-edge graph, refrozen either through
-// the incremental delta merge (graph/delta.go) or the from-scratch
-// rebuild. The incremental path must stay ≥5× faster (tracked in
-// BENCH_<rev>.json as the freeze-* workloads).
+// the incremental delta merge (graph/delta.go), the same merge done IN
+// PLACE under the single-holder promise (graph.SetSingleHolder —
+// watch B/op drop to ~zero), or the from-scratch rebuild. The
+// incremental path must stay ≥5× faster (tracked in BENCH_<rev>.json
+// as the freeze-* workloads).
 func BenchmarkFreeze(b *testing.B) {
 	const edges = 100_000
+	b.Run("inplace/m=100k-1%", func(b *testing.B) {
+		b.ReportAllocs()
+		g, muts := graph.StreamingWorkload(edges, 0.01, 42)
+		g.SetSingleHolder(true)
+		g.Freeze()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			graph.FlipEdges(g, muts)
+			b.StartTimer()
+			g.Freeze()
+		}
+	})
 	b.Run("incremental/m=100k-1%", func(b *testing.B) {
 		b.ReportAllocs()
 		g, muts := graph.StreamingWorkload(edges, 0.01, 42)

@@ -18,12 +18,17 @@ import (
 
 // This file implements the machine-readable benchmark mode:
 //
-//	rspqbench -benchjson auto        # writes BENCH_<git rev>.json
-//	rspqbench -benchjson out.json    # explicit path
+//	rspqbench -benchjson auto                 # writes BENCH_<git rev>.json
+//	rspqbench -benchjson out.json             # explicit path
+//	rspqbench -benchjson out.json -workloads shard   # one group only
 //
 // Each workload is run through testing.Benchmark so the numbers are
 // directly comparable with `go test -bench`; the JSON gives future
 // revisions a perf trajectory (ns/op, allocs/op, B/op per workload).
+// Workloads are organized into lazily-built groups ("core", "shard"),
+// so -workloads <group> runs one group without paying the fixture
+// construction of the others — CI uses `-workloads shard` as the
+// sharded-engine smoke test.
 
 type benchRecord struct {
 	Name        string  `json:"name"`
@@ -50,12 +55,72 @@ func gitRev() string {
 	return strings.TrimSpace(string(out))
 }
 
-// benchWorkloads is the fixed suite snapshotted into the JSON: the
-// product-search hot paths plus one workload per solver tier.
-func benchWorkloads() []struct {
+// workload is one named benchmark of the JSON suite.
+type workload struct {
 	name string
 	fn   func(b *testing.B)
-} {
+}
+
+// workloadGroup is a lazily-built set of workloads: build runs only
+// when the group is selected, so heavyweight fixtures (the 1M-edge
+// shard graphs) cost nothing when filtered out.
+type workloadGroup struct {
+	name  string
+	build func() []workload
+}
+
+func workloadGroups() []workloadGroup {
+	return []workloadGroup{
+		{"core", coreWorkloads},
+		{"shard", shardWorkloads},
+	}
+}
+
+// shardWorkloads compares the frontier-exchange product BFS across
+// partition sizes K=1/4/16 on a ≥1M-edge generated graph, through the
+// batch engine on a grouped existence workload (2 hot targets × 32
+// sources of the flooding language (a|b|c)*, i.e. plain reachability
+// on the subword tier — the shape where each group's backward BFS
+// dominates and per-target batching alone yields no parallelism).
+func shardWorkloads() []workload {
+	g, _ := graph.StreamingWorkload(1_000_000, 0, 91)
+	s := mustSolver("(a|b|c)*")
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(17))
+	pairs := make([]rspq.Pair, 0, 64)
+	for t := 0; t < 2; t++ {
+		y := rng.Intn(n)
+		for i := 0; i < 32; i++ {
+			pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+		}
+	}
+	var ws []workload
+	for _, k := range []int{1, 4, 16} {
+		ws = append(ws, workload{fmt.Sprintf("shard-exists/m=1M-K=%d", k), func(b *testing.B) {
+			g.SetShards(k)
+			s.Warm(g)
+			bs := rspq.NewBatchSolver(s, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.SolveExists(pairs)
+			}
+		}})
+	}
+	ws = append(ws, workload{"shard-unsharded/m=1M", func(b *testing.B) {
+		g.SetShards(0)
+		s.Warm(g)
+		bs := rspq.NewBatchSolver(s, g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.SolveExists(pairs)
+		}
+	}})
+	return ws
+}
+
+// coreWorkloads is the fixed suite snapshotted into the JSON: the
+// product-search hot paths plus one workload per solver tier.
+func coreWorkloads() []workload {
 	mustDFA := func(pattern string) *automaton.DFA {
 		d, err := automaton.MinDFAFromPattern(pattern)
 		if err != nil {
@@ -135,11 +200,13 @@ func benchWorkloads() []struct {
 	freezeFullG, _ := graph.StreamingWorkload(100_000, 0.01, 42)
 	freezeFullG.SetIncrementalFreeze(false)
 	freezeFullG.Freeze()
+	// The single-holder variant merges the delta into the previous
+	// snapshot's own arrays (graph.SetSingleHolder): allocation-free.
+	freezeInPlaceG, _ := graph.StreamingWorkload(100_000, 0.01, 42)
+	freezeInPlaceG.SetSingleHolder(true)
+	freezeInPlaceG.Freeze()
 
-	return []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	return []workload{
 		{"shortest-walk/n=400", func(b *testing.B) {
 			rng := rand.New(rand.NewSource(11))
 			for i := 0; i < b.N; i++ {
@@ -248,10 +315,18 @@ func benchWorkloads() []struct {
 				freezeFullG.Freeze()
 			}
 		}},
+		{"freeze-inplace/m=100k-1pct", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				graph.FlipEdges(freezeInPlaceG, freezeMuts)
+				b.StartTimer()
+				freezeInPlaceG.Freeze()
+			}
+		}},
 	}
 }
 
-func runBenchJSON(path string) error {
+func runBenchJSON(path, filter string) error {
 	rev := gitRev()
 	if path == "auto" {
 		path = fmt.Sprintf("BENCH_%s.json", rev)
@@ -263,18 +338,28 @@ func runBenchJSON(path string) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	for _, w := range benchWorkloads() {
-		r := testing.Benchmark(w.fn)
-		rec := benchRecord{
-			Name:        w.name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
+	ran := false
+	for _, grp := range workloadGroups() {
+		if filter != "" && !strings.Contains(grp.name, filter) {
+			continue
 		}
-		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
-		report.Workloads = append(report.Workloads, rec)
+		ran = true
+		for _, w := range grp.build() {
+			r := testing.Benchmark(w.fn)
+			rec := benchRecord{
+				Name:        w.name,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Iterations:  r.N,
+			}
+			fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
+				rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+			report.Workloads = append(report.Workloads, rec)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no workload group matches -workloads %q", filter)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

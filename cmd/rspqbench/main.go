@@ -31,10 +31,11 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
 	benchjson := flag.String("benchjson", "", `write machine-readable benchmark JSON to this path ("auto" = BENCH_<rev>.json)`)
+	workloads := flag.String("workloads", "", `with -benchjson: run only the workload groups whose name contains this string (e.g. "shard"); empty = all`)
 	flag.Parse()
 
 	if *benchjson != "" {
-		if err := runBenchJSON(*benchjson); err != nil {
+		if err := runBenchJSON(*benchjson, *workloads); err != nil {
 			fmt.Fprintf(os.Stderr, "rspqbench: %v\n", err)
 			os.Exit(1)
 		}

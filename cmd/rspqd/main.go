@@ -15,7 +15,14 @@
 //	POST /batch  {"pairs":[{"x":0,"y":3},...]}      many queries
 //	POST /edge   {"from":3,"label":"c","to":0}      add one edge
 //	POST /edges  {"add":[...],"remove":[...]}       bulk edge delta
-//	GET  /stats                                     engine + cache stats
+//	GET  /stats                                     engine + cache + shard stats
+//	GET  /healthz                                   liveness: build info, epoch, shards
+//
+// With -shards K the graph snapshot is partitioned into K row-range
+// CSR shards and every backward product search runs as a
+// bulk-synchronous frontier exchange over them (parallel up to
+// min(K, GOMAXPROCS) workers); /stats then reports per-shard edge
+// counts and the cumulative exchange rounds.
 //
 // The graph file uses the line format of internal/graph ("n <count>" /
 // "e <from> <label> <to>"). The mutation endpoints demonstrate the
@@ -39,6 +46,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -77,6 +86,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/edge", s.handleEdge)
 	mux.HandleFunc("/edges", s.handleEdges)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -258,6 +268,55 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthzResponse is the liveness probe payload: enough to tell what
+// is running (build info), what it serves (pattern, sizes, partition)
+// and how far it has advanced (epoch, uptime) — without touching the
+// engine's caches.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	Pattern       string  `json:"pattern"`
+	Vertices      int     `json:"vertices"`
+	Edges         int     `json:"edges"`
+	Epoch         uint64  `json:"epoch"`
+	Shards        int     `json:"shards"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// buildRevision reports the VCS revision baked into the binary, "" for
+// non-VCS builds (tests, go run from a dirty tree without stamping).
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, healthzResponse{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
+		Pattern:       s.pattern,
+		Vertices:      s.g.NumVertices(),
+		Edges:         s.g.NumEdges(),
+		Epoch:         s.g.Epoch(),
+		Shards:        s.g.ShardCount(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -295,6 +354,7 @@ func main() {
 	tableBytes := flag.Int64("table-bytes", 0, "pruning-table cache budget (0 = default 64 MiB, negative disables)")
 	resultBytes := flag.Int64("result-bytes", 0, "result cache budget (0 = default 16 MiB, negative disables)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "partition the snapshot into this many row-range CSR shards (0 = unsharded); backward searches become a parallel frontier exchange")
 	flag.Parse()
 
 	if *pattern == "" || (*graphPath == "" && *gen <= 0) {
@@ -326,8 +386,9 @@ func main() {
 		TableBytes:  *tableBytes,
 		ResultBytes: *resultBytes,
 		Workers:     *workers,
+		Shards:      *shards,
 	})
-	log.Printf("rspqd: serving %q over %d vertices / %d edges (%s tier) on %s",
-		*pattern, g.NumVertices(), g.NumEdges(), s.ChooseAlgorithm(g), *addr)
+	log.Printf("rspqd: serving %q over %d vertices / %d edges (%s tier, %d shards) on %s",
+		*pattern, g.NumVertices(), g.NumEdges(), s.ChooseAlgorithm(g), g.ShardCount(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }

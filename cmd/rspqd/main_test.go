@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -192,6 +193,106 @@ func TestEdgesBulkDelta(t *testing.T) {
 	}
 	if srv.g.NumEdges() != edgesBefore {
 		t.Fatal("rejected batches must not be partially applied")
+	}
+}
+
+// TestHealthzEndpoint pins the liveness probe: GET-only, build info,
+// epoch and shard count, advancing with mutations.
+func TestHealthzEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.GoVersion == "" || hz.Pattern == "" {
+		t.Fatalf("healthz = %+v", hz)
+	}
+	if hz.Vertices != 4 || hz.Edges != 3 || hz.Shards != 0 {
+		t.Fatalf("healthz = %+v; want 4 vertices, 3 edges, unsharded", hz)
+	}
+	epochBefore := hz.Epoch
+	postJSON(t, ts.URL+"/edge", `{"from":3,"label":"c","to":0}`, nil)
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Epoch <= epochBefore {
+		t.Fatalf("healthz epoch %d must advance past %d", hz.Epoch, epochBefore)
+	}
+	if r := postJSON(t, ts.URL+"/healthz", `{}`, nil); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: status %d; want 405", r.StatusCode)
+	}
+	_ = srv
+}
+
+// TestShardedServer drives a sharded engine end to end over HTTP:
+// queries agree with an unsharded reference, and /stats + /healthz
+// surface the partition (per-shard edge counts, exchange rounds).
+func TestShardedServer(t *testing.T) {
+	g := graph.Random(30, []byte{'a', 'b', 'c'}, 0.12, 9)
+	ref := graph.New(30)
+	for _, e := range g.Edges() {
+		ref.AddEdge(e.From, e.Label, e.To)
+	}
+	s, err := rspq.NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, g, "a*c*", rspq.EngineConfig{Shards: 4})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for x := 0; x < 30; x += 3 {
+		for y := 0; y < 30; y += 4 {
+			var q queryResponse
+			postJSON(t, ts.URL+"/query", fmt.Sprintf(`{"x":%d,"y":%d}`, x, y), &q)
+			if want := s.Solve(ref, x, y).Found; q.Found != want {
+				t.Fatalf("sharded /query(%d,%d) = %v; unsharded reference says %v", x, y, q.Found, want)
+			}
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Shards != 4 || len(st.Engine.ShardEdges) != 4 {
+		t.Fatalf("stats must report the partition: %+v", st.Engine)
+	}
+	sum := 0
+	for _, m := range st.Engine.ShardEdges {
+		sum += m
+	}
+	if sum != st.Edges {
+		t.Fatalf("shard edges sum to %d; want %d", sum, st.Edges)
+	}
+	if st.Engine.ExchangeRounds == 0 {
+		t.Fatal("sharded queries must accumulate frontier-exchange rounds")
+	}
+	hzResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hzResp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(hzResp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Shards != 4 {
+		t.Fatalf("healthz shards = %d; want 4", hz.Shards)
 	}
 }
 

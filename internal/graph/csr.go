@@ -50,17 +50,36 @@ type CSR struct {
 // fresh arrays, never touching snapshots already handed out).
 func (g *Graph) Freeze() *CSR {
 	if g.csr == nil {
-		if g.canMergeDelta() {
+		merged := g.canMergeDelta()
+		switch {
+		case merged && g.singleHolder:
+			if c := g.mergeCSRInPlace(); c != nil {
+				g.csr = c
+				g.incBuilds.Add(1)
+				g.inPlaceBuilds.Add(1)
+				break
+			}
+			fallthrough // capacity shortfall or new vertices: copying merge
+		case merged:
 			g.csr = g.mergeCSR()
 			g.incBuilds.Add(1)
-		} else {
+		default:
 			g.csr = buildCSR(g)
 			g.fullBuilds.Add(1)
 		}
+		// The sharded snapshot consumes the same delta buffers, so it is
+		// refreshed before they are cleared (no-op unless SetShards).
+		g.freezeSharded(merged)
 		if !g.incDisabled {
 			g.csrBase = g.csr
 		}
 		g.addBuf, g.delBuf = nil, nil
+	} else if g.shardCount > 0 && g.sharded == nil {
+		// Sharding was configured (or reconfigured) after the CSR was
+		// already frozen: partition the existing snapshot now, so that
+		// once a warmed graph is shared across goroutines every
+		// Freeze/FreezeSharded call is read-only.
+		g.freezeSharded(false)
 	}
 	return g.csr
 }
@@ -107,8 +126,9 @@ func buildCSR(g *Graph) *CSR {
 		c.outBucket[i] += c.outBucket[i-1]
 		c.inBucket[i] += c.inBucket[i-1]
 	}
-	c.outTo = make([]int32, g.edges)
-	c.inFrom = make([]int32, g.edges)
+	pad := g.payloadPad()
+	c.outTo = make([]int32, g.edges, g.edges+pad)
+	c.inFrom = make([]int32, g.edges, g.edges+pad)
 	outNext := append([]int32(nil), c.outBucket[:len(c.outBucket)-1]...)
 	inNext := append([]int32(nil), c.inBucket[:len(c.inBucket)-1]...)
 	for v := range g.out {

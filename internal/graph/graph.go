@@ -56,13 +56,23 @@ type Graph struct {
 	// Incremental-freeze state (delta.go): the CSR the pending delta is
 	// relative to, the add/remove buffers recording every edge mutation
 	// since csrBase was built, and the freeze counters. csrBase == nil
-	// means the next Freeze rebuilds from scratch.
-	csrBase     *CSR
-	addBuf      map[Edge]struct{}
-	delBuf      map[Edge]struct{}
-	incDisabled bool
-	fullBuilds  atomic.Uint64
-	incBuilds   atomic.Uint64
+	// means the next Freeze rebuilds from scratch. singleHolder is the
+	// caller's promise that old snapshots are never read after the next
+	// Freeze, enabling the in-place merge (SetSingleHolder).
+	csrBase       *CSR
+	addBuf        map[Edge]struct{}
+	delBuf        map[Edge]struct{}
+	incDisabled   bool
+	singleHolder  bool
+	fullBuilds    atomic.Uint64
+	incBuilds     atomic.Uint64
+	inPlaceBuilds atomic.Uint64
+
+	// Partitioned-snapshot state (shard.go): the configured shard count
+	// (0 = unsharded), the cached sharded snapshot and its merge base.
+	shardCount  int
+	sharded     *ShardedCSR
+	shardedBase *ShardedCSR
 
 	// epoch counts mutations (see Epoch). It is atomic so long-lived
 	// engines may poll it for staleness without synchronizing with the
@@ -82,6 +92,7 @@ func (g *Graph) invalidate() {
 	g.alpha = nil
 	g.alphaValid = false
 	g.csr = nil
+	g.sharded = nil
 	g.epoch.Add(1)
 }
 

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInPlaceMergeEquivalence drives randomized mutate/refreeze loops
+// under the single-holder promise and asserts after every freeze that
+// the in-place merge produced a snapshot identical to a from-scratch
+// rebuild, and that the arrays were genuinely reused (no fresh payload)
+// whenever capacity allowed.
+func TestInPlaceMergeEquivalence(t *testing.T) {
+	labels := []byte{'a', 'b', 'c'}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		g := New(6 + rng.Intn(16))
+		g.SetSingleHolder(true)
+		for i := 0; i < 50+rng.Intn(30); i++ {
+			g.AddEdge(rng.Intn(g.NumVertices()), labels[rng.Intn(len(labels))], rng.Intn(g.NumVertices()))
+		}
+		live := g.Edges()
+		g.Freeze()
+		for step := 0; step < 100; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5:
+				e := Edge{From: rng.Intn(g.NumVertices()), Label: labels[rng.Intn(len(labels))], To: rng.Intn(g.NumVertices())}
+				if !g.HasEdge(e.From, e.Label, e.To) {
+					live = append(live, e)
+				}
+				g.AddEdge(e.From, e.Label, e.To)
+			case op < 8:
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					g.RemoveEdge(live[i].From, live[i].Label, live[i].To)
+					live = append(live[:i], live[i+1:]...)
+				}
+			default:
+				checkAgainstRebuild(t, g, step)
+			}
+		}
+		checkAgainstRebuild(t, g, -1)
+		if g.InPlaceMerges() == 0 {
+			t.Fatalf("seed %d: no in-place merge ever ran (full=%d inc=%d)",
+				seed, g.fullBuilds.Load(), g.incBuilds.Load())
+		}
+	}
+}
+
+// TestInPlaceMergeReusesArrays pins the point of the satellite: under
+// the single-holder promise a small balanced delta is merged into the
+// previous snapshot's own arrays — same backing array, no payload
+// allocation — and the in-place counter advances.
+func TestInPlaceMergeReusesArrays(t *testing.T) {
+	g := New(32)
+	for v := 0; v < 31; v++ {
+		g.AddEdge(v, 'a', v+1)
+		g.AddEdge(v+1, 'b', v)
+	}
+	g.SetSingleHolder(true)
+	base := g.Freeze()
+	baseOut := &base.outTo[0]
+
+	g.RemoveEdge(3, 'a', 4)
+	g.AddEdge(3, 'a', 10)
+	c := g.Freeze()
+	if c != base {
+		t.Fatal("in-place merge must return the same *CSR object")
+	}
+	if &c.outTo[0] != baseOut {
+		t.Fatal("in-place merge must reuse the payload backing array")
+	}
+	if got := g.InPlaceMerges(); got != 1 {
+		t.Fatalf("InPlaceMerges = %d, want 1", got)
+	}
+	if full, inc := g.FreezeStats(); inc != 1 {
+		t.Fatalf("in-place merge must count as incremental (full=%d inc=%d)", full, inc)
+	}
+	checkAgainstRebuild(t, g, 0)
+}
+
+// TestInPlaceMergeFallbacks pins the guard rails: growth past the
+// payload capacity, new vertices, and the default (no promise) all take
+// the copying paths — and stay correct.
+func TestInPlaceMergeFallbacks(t *testing.T) {
+	t.Run("no-promise", func(t *testing.T) {
+		g := New(8)
+		g.AddEdge(0, 'a', 1)
+		g.AddEdge(1, 'a', 2)
+		base := g.Freeze()
+		g.AddEdge(2, 'a', 3)
+		if g.Freeze() == base {
+			t.Fatal("without the promise the merge must not mutate the base")
+		}
+		if g.InPlaceMerges() != 0 {
+			t.Fatalf("InPlaceMerges = %d, want 0", g.InPlaceMerges())
+		}
+	})
+	t.Run("capacity", func(t *testing.T) {
+		g := New(64)
+		g.AddEdge(0, 'a', 1) // tiny base: pad is small
+		g.Freeze()
+		g.SetSingleHolder(true) // promise made after the unpadded base
+		for v := 2; v < 60; v++ {
+			g.AddEdge(0, 'a', v)
+		}
+		checkAgainstRebuild(t, g, 0) // copying merge or rebuild, still right
+	})
+	t.Run("new-vertices", func(t *testing.T) {
+		g := New(4)
+		g.SetSingleHolder(true)
+		g.AddEdge(0, 'a', 1)
+		g.Freeze()
+		v := g.AddVertex()
+		g.AddEdge(1, 'a', v)
+		checkAgainstRebuild(t, g, 0)
+		if g.InPlaceMerges() != 0 {
+			t.Fatal("vertex growth must not merge in place (bucket arrays grow)")
+		}
+	})
+}
+
+// TestInPlaceMergeDenseChurn stresses the two passes with adjacent and
+// same-bucket deletions/insertions: many edges of one source so single
+// buckets take multiple tombstones and multiple adds at once.
+func TestInPlaceMergeDenseChurn(t *testing.T) {
+	g := New(40)
+	for v := 1; v < 40; v++ {
+		g.AddEdge(0, 'a', v) // one fat bucket
+		if v%2 == 0 {
+			g.AddEdge(v, 'b', 0)
+		}
+	}
+	g.SetSingleHolder(true)
+	g.Freeze()
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 30; step++ {
+		for i := 0; i < 5; i++ { // churn inside the fat bucket
+			v := 1 + rng.Intn(39)
+			if !g.RemoveEdge(0, 'a', v) {
+				g.AddEdge(0, 'a', v)
+			}
+		}
+		checkAgainstRebuild(t, g, step)
+	}
+	if g.InPlaceMerges() == 0 {
+		t.Fatal("dense churn should have exercised the in-place merge")
+	}
+}

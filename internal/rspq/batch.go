@@ -23,6 +23,14 @@ import (
 // so steady-state batches stay near the per-query engine's
 // zero-allocation contract: the remaining allocations are the witness
 // paths and the per-batch grouping index.
+//
+// On a sharded graph (graph.SetShards) the two parallelism axes
+// compose: groups still fan out over this pool, and each group's
+// backward BFS additionally runs as a frontier exchange over the
+// shards (shardbfs.go) with up to min(K, GOMAXPROCS) workers of its
+// own. Batches with many distinct targets are already saturated by
+// group fan-out; sharding is what parallelizes the opposite shape —
+// few hot targets whose individual table builds dominate.
 
 // Pair is one (source, target) query of a batch.
 type Pair struct {

@@ -51,6 +51,13 @@ type EngineConfig struct {
 	// Workers sizes the BatchSolve worker pool; <= 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// Shards configures the graph's snapshot partition: when > 0 the
+	// engine calls g.SetShards(Shards) and every backward product
+	// search runs as a bulk-synchronous frontier exchange over the
+	// row-range shards (shardbfs.go), with workers capped at
+	// min(Shards, GOMAXPROCS). 0 leaves the graph's configuration
+	// as-is (sharded only if the caller already called SetShards).
+	Shards int
 }
 
 // EngineStats is a point-in-time snapshot of an Engine's counters; the
@@ -59,16 +66,23 @@ type EngineConfig struct {
 // rebuilds versus incremental delta merges — on a streaming workload
 // IncrementalFreezes should dominate (see Engine.Stats).
 type EngineStats struct {
-	Epoch              uint64      `json:"epoch"`
-	Algorithm          string      `json:"algorithm"`
-	Queries            int64       `json:"queries"`
-	Batches            int64       `json:"batches"`
-	BatchPairs         int64       `json:"batch_pairs"`
-	SnapshotRebuilds   int64       `json:"snapshot_rebuilds"`
-	FullFreezes        uint64      `json:"full_freezes"`
-	IncrementalFreezes uint64      `json:"incremental_freezes"`
-	Tables             cache.Stats `json:"tables"`
-	Results            cache.Stats `json:"results"`
+	Epoch              uint64 `json:"epoch"`
+	Algorithm          string `json:"algorithm"`
+	Queries            int64  `json:"queries"`
+	Batches            int64  `json:"batches"`
+	BatchPairs         int64  `json:"batch_pairs"`
+	SnapshotRebuilds   int64  `json:"snapshot_rebuilds"`
+	FullFreezes        uint64 `json:"full_freezes"`
+	IncrementalFreezes uint64 `json:"incremental_freezes"`
+	// Shards is the snapshot partition size (0 = unsharded),
+	// ShardEdges the per-shard edge counts of the current snapshot, and
+	// ExchangeRounds the cumulative bulk-synchronous rounds run by the
+	// frontier-exchange kernels.
+	Shards         int         `json:"shards,omitempty"`
+	ShardEdges     []int       `json:"shard_edges,omitempty"`
+	ExchangeRounds int64       `json:"exchange_rounds,omitempty"`
+	Tables         cache.Stats `json:"tables"`
+	Results        cache.Stats `json:"results"`
 }
 
 // table kinds, part of tableKey so the three tiers share one cache.
@@ -79,14 +93,17 @@ const (
 )
 
 // tableKey names one per-target pruning table: the graph generation it
-// was built under, the language, the target, and — for the summary
-// tier — the Ψtr sequence index.
+// was built under, the language, the target, the snapshot partition it
+// was built from (reconfiguring the shard count must not alias an old
+// table, and a shared cache may serve engines with different
+// partitions), and — for the summary tier — the Ψtr sequence index.
 type tableKey struct {
-	epoch uint64
-	lang  uint64
-	y     int32
-	seq   int32 // sequence index (summary tier), -1 otherwise
-	kind  uint8
+	epoch  uint64
+	lang   uint64
+	y      int32
+	seq    int32 // sequence index (summary tier), -1 otherwise
+	shards uint16
+	kind   uint8
 }
 
 // resultKey names one cached answer. Existence-only answers are cached
@@ -184,13 +201,23 @@ func (t *goalTable) walkFrom(x, start, m int) *graph.Path {
 	return &graph.Path{Vertices: vs, Labels: ls}
 }
 
-// engineSnap is one consistent frozen view of the graph: the CSR, the
-// epoch it was built under, and the dispatch verdict. Snapshots are
-// immutable; a mutation makes the next query build a fresh one.
+// engineSnap is one consistent frozen view of the graph: the CSR (plus
+// its partition when sharding is configured), the epoch it was built
+// under, and the dispatch verdict. Snapshots are immutable; a mutation
+// makes the next query build a fresh one.
 type engineSnap struct {
 	csr   *graph.CSR
+	sc    *graph.ShardedCSR // nil when unsharded
 	epoch uint64
 	algo  Algorithm
+}
+
+// shards returns the partition size for cache keys (0 = unsharded).
+func (s *engineSnap) shards() uint16 {
+	if s.sc == nil {
+		return 0
+	}
+	return uint16(s.sc.NumShards())
 }
 
 // Engine is a long-lived serving engine for one (language, graph)
@@ -214,6 +241,7 @@ type Engine struct {
 	batches    atomic.Int64
 	batchPairs atomic.Int64
 	rebuilds   atomic.Int64
+	exchRounds atomic.Int64 // frontier-exchange rounds (sharded only)
 }
 
 // NewEngine builds a serving engine for s's language on g, freezing
@@ -222,6 +250,9 @@ type Engine struct {
 // worker pool.
 func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
 	e := &Engine{s: s, g: g}
+	if cfg.Shards > 0 {
+		g.SetShards(cfg.Shards)
+	}
 	if cfg.TableBytes >= 0 {
 		tb := cfg.TableBytes
 		if tb == 0 {
@@ -281,10 +312,19 @@ func (e *Engine) snapshot() *engineSnap {
 		return s
 	}
 	csr, acyclic, epoch := e.g.Snapshot()
-	s := &engineSnap{csr: csr, epoch: epoch, algo: e.s.algorithmFor(acyclic)}
+	s := &engineSnap{csr: csr, sc: e.g.FreezeSharded(), epoch: epoch, algo: e.s.algorithmFor(acyclic)}
 	e.snap.Store(s)
 	e.rebuilds.Add(1)
 	return s
+}
+
+// product builds the product view of a snapshot, carrying the partition
+// and the engine's exchange-round counter into the kernels.
+func (e *Engine) product(snap *engineSnap, a *arena) product {
+	p := makeProductCSR(snap.csr, e.s.Min, a)
+	p.sc = snap.sc
+	p.rounds = &e.exchRounds
+	return p
 }
 
 // Stats snapshots the engine's counters, including hit/miss/eviction
@@ -298,9 +338,17 @@ func (e *Engine) Stats() EngineStats {
 		SnapshotRebuilds: e.rebuilds.Load(),
 	}
 	st.FullFreezes, st.IncrementalFreezes = e.g.FreezeStats()
+	st.ExchangeRounds = e.exchRounds.Load()
 	if snap != nil {
 		st.Epoch = snap.epoch
 		st.Algorithm = snap.algo.String()
+		if snap.sc != nil {
+			st.Shards = snap.sc.NumShards()
+			st.ShardEdges = make([]int, snap.sc.NumShards())
+			for s := range st.ShardEdges {
+				st.ShardEdges[s] = snap.sc.ShardEdges(s)
+			}
+		}
 	}
 	if e.tables != nil {
 		st.Tables = e.tables.Stats()
@@ -396,7 +444,7 @@ func (e *Engine) solveOne(snap *engineSnap, a *arena, x, y int, existsOnly bool)
 	case AlgoSummary:
 		return e.summarySolve(snap, x, y, existsOnly)
 	default:
-		p := makeProductCSR(snap.csr, e.s.Min, a)
+		p := e.product(snap, a)
 		t := e.coTableFor(snap, &p, a, y)
 		return baselineWith(&p, a, e.s.Min, t, x, y, nil)
 	}
@@ -421,14 +469,14 @@ func (e *Engine) summarySolve(snap *engineSnap, x, y int, existsOnly bool) Resul
 // y), feeding its co-reachability table from — and back to — the table
 // cache. Both the single-query and the batch path go through here.
 func (e *Engine) acquireSummary(snap *engineSnap, seq *psitr.Sequence, si, y int) *seqSearcher {
-	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: int32(si), kind: tableSeq}
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: int32(si), shards: snap.shards(), kind: tableSeq}
 	var ext *coTable
 	if e.tables != nil {
 		if v, ok := e.tables.Get(key); ok {
 			ext = v.(*coTable)
 		}
 	}
-	ss := acquireSeqSearcherCSR(snap.csr, seq, y, false, ext)
+	ss := acquireSeqSearcherCSR(snap.csr, snap.sc, seq, y, false, ext, &e.exchRounds)
 	if ext == nil && e.tables != nil && e.tables.Retainable(coTableCost(ss.n*ss.plan.posCount)) {
 		t := ss.exportCoReach()
 		e.tables.Put(key, t, t.cost())
@@ -451,13 +499,13 @@ type goalView struct {
 // cached table on hit and caching a freshly exported one on miss when
 // it is retainable.
 func (e *Engine) goalViewFor(snap *engineSnap, a *arena, y int) goalView {
-	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, kind: tableGoal}
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, shards: snap.shards(), kind: tableGoal}
 	if e.tables != nil {
 		if v, ok := e.tables.Get(key); ok {
 			return goalView{t: v.(*goalTable)}
 		}
 	}
-	p := makeProductCSR(snap.csr, e.s.Min, a)
+	p := e.product(snap, a)
 	p.distToGoal(y, a)
 	if e.tables != nil && e.tables.Retainable(goalTableCost(p.n*p.m)) {
 		t := exportGoalTable(&p, a)
@@ -505,7 +553,7 @@ func (e *Engine) answerGoal(v goalView, algo Algorithm, x int, existsOnly bool) 
 // cached on hit, freshly cached on miss when retainable, or nil with
 // the table left in the arena (a.co) for baselineWith's fallback.
 func (e *Engine) coTableFor(snap *engineSnap, p *product, a *arena, y int) *coTable {
-	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, kind: tableCo}
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, shards: snap.shards(), kind: tableCo}
 	if e.tables != nil {
 		if v, ok := e.tables.Get(key); ok {
 			return v.(*coTable)
@@ -637,7 +685,7 @@ func (e *Engine) solveGroup(snap *engineSnap, a *arena, grp *batchGroup, out []R
 	case AlgoSummary:
 		e.batchSummary(snap, grp, out, found)
 	default:
-		p := makeProductCSR(snap.csr, e.s.Min, a)
+		p := e.product(snap, a)
 		t := e.coTableFor(snap, &p, a, grp.y)
 		for j, x := range grp.xs {
 			record(j, baselineWith(&p, a, e.s.Min, t, x, grp.y, nil))

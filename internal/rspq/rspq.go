@@ -22,6 +22,7 @@ package rspq
 
 import (
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -61,6 +62,13 @@ func VerifyWitness(res Result, g *graph.Graph, d *automaton.DFA, x, y int) bool 
 // reverse-transition index, so forward steps touch contiguous
 // label-bucketed edge slices and backward steps enumerate exact
 // predecessor states instead of scanning all of them.
+//
+// When the graph carries a partitioned snapshot (graph.SetShards), sc
+// is set and the backward kernels (coReach, distToGoal) run as a
+// bulk-synchronous frontier exchange over the shards instead of a
+// single queue-driven sweep — see shardbfs.go. rounds, when non-nil,
+// accumulates the exchange round counts (Engine wires its stats counter
+// here).
 type product struct {
 	csr  *graph.CSR
 	d    *automaton.DFA
@@ -68,10 +76,15 @@ type product struct {
 	n    int     // vertices
 	m    int     // states
 	lmap []int16 // CSR label id -> DFA alphabet index, -1 when absent
+
+	sc     *graph.ShardedCSR // nil → sequential kernels
+	rounds *atomic.Int64     // frontier-exchange round sink, may be nil
 }
 
 func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {
-	return makeProductCSR(g.Freeze(), d, a)
+	p := makeProductCSR(g.Freeze(), d, a)
+	p.sc = g.FreezeSharded()
+	return p
 }
 
 // makeProductCSR builds the product directly over a frozen CSR
@@ -94,8 +107,15 @@ func (p *product) id(v, q int) int { return v*p.m + q }
 // coReach computes, for every (v, q), whether some walk from v labeled
 // w with ∆(q, w) accepting reaches y. This ignores simplicity and is
 // the standard pruning oracle for the simple-path searches. The result
-// is left in a.co.
+// is left in a.co. On a sharded product it runs as a frontier exchange
+// (shardbfs.go); the resulting set is identical.
 func (p *product) coReach(y int, a *arena) {
+	if p.sc != nil && p.sc.NumShards() > 1 {
+		// A single-shard partition degenerates to this sequential sweep,
+		// so the exchange runs only for K > 1.
+		p.coReachSharded(y, a)
+		return
+	}
 	a.co.reset(p.n * p.m)
 	queue := a.queue[:0]
 	for q := 0; q < p.m; q++ {
@@ -139,8 +159,15 @@ func (p *product) coReach(y int, a *arena) {
 // step closer to the goal (a.parent) and the label of that step
 // (a.plabel), so a shortest walk from ANY source can be read off
 // forward without another search — the basis of the batched walk tiers
-// (see sharedWalkFrom).
+// (see sharedWalkFrom). On a sharded product it runs as a frontier
+// exchange (shardbfs.go): distances are identical (the exchange is
+// synchronous BFS), parent links may name a different — equally short —
+// successor.
 func (p *product) distToGoal(y int, a *arena) {
+	if p.sc != nil && p.sc.NumShards() > 1 {
+		p.distToGoalSharded(y, a)
+		return
+	}
 	nm := p.n * p.m
 	a.dst.reset(nm)
 	a.growProduct(nm)

@@ -1,0 +1,375 @@
+package rspq
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file pins the frontier-exchange refactor: a sharded graph must
+// answer every query exactly like the unsharded path, for every shard
+// count, on every algorithm tier, before and after mutation epochs.
+// Found bits and distances are bit-identical (the exchange is
+// synchronous BFS); witnesses are verified rather than compared, since
+// equal-length parent links may legitimately differ.
+
+type shardTierCase struct {
+	name    string
+	pattern string
+	gen     func(seed int64) *graph.Graph
+}
+
+func shardTierCases() []shardTierCase {
+	return []shardTierCase{
+		{"subword", "a*c*", func(seed int64) *graph.Graph {
+			return graph.Random(22, []byte{'a', 'b', 'c'}, 0.12, seed)
+		}},
+		{"summary", "a*(bb+|())c*", func(seed int64) *graph.Graph {
+			return graph.Random(20, []byte{'a', 'b', 'c'}, 0.12, seed+100)
+		}},
+		{"baseline", "a*bba*", func(seed int64) *graph.Graph {
+			return graph.Random(20, []byte{'a', 'b'}, 0.10, seed+200)
+		}},
+		{"dag", "(a|b)*a(a|b)*", func(seed int64) *graph.Graph {
+			return graph.LayeredDAG(5, 4, 2, []byte{'a', 'b'}, seed+300)
+		}},
+		{"finite", "ab|ba|aab", func(seed int64) *graph.Graph {
+			return graph.Random(18, []byte{'a', 'b'}, 0.10, seed+400)
+		}},
+	}
+}
+
+// unshardedAnswers computes the reference answer set on the unsharded
+// path: per-pair results, batch results and existence bits.
+func unshardedAnswers(s *Solver, g *graph.Graph, pairs []Pair) ([]Result, []bool) {
+	g.SetShards(0)
+	out := make([]Result, len(pairs))
+	for i, pq := range pairs {
+		out[i] = s.Solve(g, pq.X, pq.Y)
+	}
+	return out, NewBatchSolver(s, g).SolveExists(pairs)
+}
+
+// checkShardedAgainst re-answers every pair on a K-sharded graph — per
+// query, batched, existence-only, and through an Engine — and compares
+// to the reference.
+func checkShardedAgainst(t *testing.T, s *Solver, g *graph.Graph, k int, pairs []Pair, want []Result, wantEx []bool) {
+	t.Helper()
+	g.SetShards(k)
+	if g.FreezeSharded() == nil {
+		t.Fatalf("K=%d: sharded snapshot missing", k)
+	}
+	for i, pq := range pairs {
+		got := s.Solve(g, pq.X, pq.Y)
+		if got.Found != want[i].Found {
+			t.Fatalf("K=%d Solve(%d,%d): found=%v, unsharded says %v", k, pq.X, pq.Y, got.Found, want[i].Found)
+		}
+		if !VerifyWitness(got, g, s.Min, pq.X, pq.Y) {
+			t.Fatalf("K=%d Solve(%d,%d): invalid witness %v", k, pq.X, pq.Y, got.Path)
+		}
+	}
+	batch := NewBatchSolver(s, g).Solve(pairs)
+	for i, got := range batch {
+		if got.Found != want[i].Found {
+			t.Fatalf("K=%d batch pair %d (%d,%d): found=%v, want %v", k, i, pairs[i].X, pairs[i].Y, got.Found, want[i].Found)
+		}
+		if !VerifyWitness(got, g, s.Min, pairs[i].X, pairs[i].Y) {
+			t.Fatalf("K=%d batch pair %d: invalid witness", k, i)
+		}
+	}
+	ex := NewBatchSolver(s, g).SolveExists(pairs)
+	for i, got := range ex {
+		if got != wantEx[i] {
+			t.Fatalf("K=%d exists pair %d (%d,%d): %v, want %v", k, i, pairs[i].X, pairs[i].Y, got, wantEx[i])
+		}
+	}
+	eng := NewEngine(s, g, EngineConfig{})
+	for i, pq := range pairs {
+		if got := eng.Solve(pq.X, pq.Y); got.Found != want[i].Found {
+			t.Fatalf("K=%d engine Solve(%d,%d): found=%v, want %v", k, pq.X, pq.Y, got.Found, want[i].Found)
+		}
+	}
+}
+
+// shardPairSet builds the query set: a dense sweep over a vertex sample
+// plus the edge cases — x==y everywhere, the isolated vertex in both
+// roles, and out-of-range ids.
+func shardPairSet(g *graph.Graph, isolated int, rng *rand.Rand) []Pair {
+	n := g.NumVertices()
+	var pairs []Pair
+	for x := 0; x < n; x += 1 + n/12 {
+		for y := 0; y < n; y += 1 + n/12 {
+			pairs = append(pairs, Pair{X: x, Y: y})
+		}
+	}
+	for v := 0; v < n; v += 1 + n/6 {
+		pairs = append(pairs, Pair{X: v, Y: v}) // x == y
+	}
+	pairs = append(pairs,
+		Pair{X: isolated, Y: rng.Intn(n)}, Pair{X: rng.Intn(n), Y: isolated},
+		Pair{X: isolated, Y: isolated},
+		Pair{X: -1, Y: 0}, Pair{X: 0, Y: n + 3}, // out of range
+	)
+	return pairs
+}
+
+// TestShardedEquivalence is the randomized sharded ≡ unsharded suite:
+// for every tier and K ∈ {1, 2, 3, 8}, before and after a mutation
+// epoch (exercising the per-shard delta merge on the refreeze).
+func TestShardedEquivalence(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 8}
+	for _, tc := range shardTierCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed * 31))
+				g := tc.gen(seed)
+				isolated := g.AddVertex() // stays isolated: empty buckets in some shard
+				pairs := shardPairSet(g, isolated, rng)
+
+				want, wantEx := unshardedAnswers(tc.solver(t), g, pairs)
+				for _, k := range shardCounts {
+					checkShardedAgainst(t, tc.solver(t), g, k, pairs, want, wantEx)
+				}
+
+				// One mutation epoch: flip a few random edges (keeping the
+				// alphabet stable so the refreeze merges per shard), then
+				// require equivalence again on the merged snapshots.
+				labels := g.Freeze().Labels()
+				g.SetShards(3)
+				g.FreezeSharded() // establish a sharded merge base
+				for i := 0; i < 8; i++ {
+					u, v := rng.Intn(g.NumVertices()), rng.Intn(g.NumVertices())
+					l := labels[rng.Intn(len(labels))]
+					if tc.name == "dag" && u >= v {
+						u, v = v, u+1 // keep layered edges forward: graph stays acyclic
+						if v >= g.NumVertices() {
+							continue
+						}
+					}
+					if !g.RemoveEdge(u, l, v) {
+						g.AddEdge(u, l, v)
+					}
+				}
+				want, wantEx = unshardedAnswers(tc.solver(t), g, pairs)
+				for _, k := range shardCounts {
+					checkShardedAgainst(t, tc.solver(t), g, k, pairs, want, wantEx)
+				}
+			}
+		})
+	}
+}
+
+// solver compiles (and caches per test) the tier's pattern.
+func (tc *shardTierCase) solver(t *testing.T) *Solver {
+	t.Helper()
+	s, err := NewSolver(tc.pattern)
+	if err != nil {
+		t.Fatalf("compile %q: %v", tc.pattern, err)
+	}
+	return s
+}
+
+// TestShardedExchangeParallelWorkers forces a multi-worker exchange
+// (even on a single-CPU machine) so the parallel expand/deliver phases
+// and their barriers run under the race detector.
+func TestShardedExchangeParallelWorkers(t *testing.T) {
+	exchangeWorkersOverride.Store(4)
+	defer exchangeWorkersOverride.Store(0)
+	for _, tc := range shardTierCases() {
+		g := tc.gen(7)
+		isolated := g.AddVertex()
+		rng := rand.New(rand.NewSource(7))
+		pairs := shardPairSet(g, isolated, rng)
+		want, wantEx := unshardedAnswers(tc.solver(t), g, pairs)
+		checkShardedAgainst(t, tc.solver(t), g, 8, pairs, want, wantEx)
+	}
+}
+
+// TestShardedConcurrentLazyPartition pins the regression found in
+// review: configuring shards AFTER a graph was already frozen must not
+// leave the partition to be built lazily by racing batch workers.
+// Warm (via NewBatchSolver) must build it up front, so concurrent
+// batches and queries on the warmed graph are read-only — this test
+// runs under -race in CI.
+func TestShardedConcurrentLazyPartition(t *testing.T) {
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Random(60, []byte{'a', 'b', 'c'}, 0.1, 13)
+	s.Warm(g)      // graph frozen unsharded
+	g.SetShards(4) // partition configured after the fact
+	bs := NewBatchSolver(s, g).SetWorkers(4)
+	if g.FreezeSharded() == nil {
+		t.Fatal("NewBatchSolver's Warm must have built the partition")
+	}
+	pairs := make([]Pair, 64)
+	rng := rand.New(rand.NewSource(2))
+	for i := range pairs {
+		pairs[i] = Pair{X: rng.Intn(60), Y: rng.Intn(8)}
+	}
+	want := bs.SolveExists(pairs)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				got := bs.SolveExists(pairs)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("concurrent batch diverged at pair %d", i)
+						return
+					}
+				}
+				for i := 0; i < 10; i++ {
+					s.Solve(g, i, i+20)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestShardedDistancesIdentical pins the synchronous-BFS property the
+// witness comparison relies on: sharded and unsharded shortest-walk
+// distances agree exactly (DAG tier, where the walk IS the answer).
+func TestShardedDistancesIdentical(t *testing.T) {
+	s, err := NewSolver("(a|b)*a(a|b)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.LayeredDAG(6, 5, 2, []byte{'a', 'b'}, 11)
+	n := g.NumVertices()
+	type key struct{ x, y int }
+	lens := map[key]int{}
+	g.SetShards(0)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if res := s.Solve(g, x, y); res.Found {
+				lens[key{x, y}] = res.Path.Len()
+			}
+		}
+	}
+	for _, k := range []int{1, 4, 8} {
+		g.SetShards(k)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				res := s.Solve(g, x, y)
+				want, ok := lens[key{x, y}]
+				if res.Found != ok {
+					t.Fatalf("K=%d (%d,%d): found=%v, want %v", k, x, y, res.Found, ok)
+				}
+				if res.Found && res.Path.Len() != want {
+					t.Fatalf("K=%d (%d,%d): walk length %d, unsharded %d", k, x, y, res.Path.Len(), want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineShardedStats pins the serving-stack surface: an Engine
+// configured with Shards reports the partition, per-shard edge counts
+// summing to the edge count, and a growing exchange-round counter; a
+// mutation epoch keeps everything consistent.
+func TestEngineShardedStats(t *testing.T) {
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Random(40, []byte{'a', 'b', 'c'}, 0.1, 5)
+	eng := NewEngine(s, g, EngineConfig{Shards: 4})
+	for x := 0; x < 40; x += 5 {
+		eng.Solve(x, (x+7)%40)
+	}
+	st := eng.Stats()
+	if st.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards)
+	}
+	if len(st.ShardEdges) != 4 {
+		t.Fatalf("ShardEdges = %v, want 4 entries", st.ShardEdges)
+	}
+	sum := 0
+	for _, m := range st.ShardEdges {
+		sum += m
+	}
+	if sum != g.NumEdges() {
+		t.Fatalf("ShardEdges sums to %d, want %d", sum, g.NumEdges())
+	}
+	if st.ExchangeRounds == 0 {
+		t.Fatal("sharded queries must accumulate exchange rounds")
+	}
+
+	g.AddEdge(0, 'a', 39)
+	if res, ref := eng.Solve(0, 39), s.Solve(g, 0, 39); res.Found != ref.Found {
+		t.Fatalf("post-mutation: engine %v, solver %v", res.Found, ref.Found)
+	}
+	if st := eng.Stats(); st.Shards != 4 || st.Epoch == 0 {
+		t.Fatalf("post-mutation stats lost the partition: %+v", st)
+	}
+}
+
+// TestShardedManyShards sweeps K past the vertex count so some shards
+// are empty, catching boundary arithmetic.
+func TestShardedManyShards(t *testing.T) {
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Random(9, []byte{'a', 'c'}, 0.25, 3)
+	var want []bool
+	g.SetShards(0)
+	for x := 0; x < 9; x++ {
+		for y := 0; y < 9; y++ {
+			want = append(want, s.Solve(g, x, y).Found)
+		}
+	}
+	for _, k := range []int{5, 9, 16, 40} {
+		g.SetShards(k)
+		i := 0
+		for x := 0; x < 9; x++ {
+			for y := 0; y < 9; y++ {
+				if got := s.Solve(g, x, y).Found; got != want[i] {
+					t.Fatalf("K=%d (%d,%d): %v, want %v", k, x, y, got, want[i])
+				}
+				i++
+			}
+		}
+	}
+}
+
+// BenchmarkExchangeOverheadK1 guards the K=1 bar of the tentpole: the
+// single-shard exchange must stay within a few percent of the
+// sequential kernel (it is the same work with one frontier swap per
+// level). Run with -bench to compare against the unsharded numbers.
+func BenchmarkExchangeOverheadK1(b *testing.B) {
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.Random(400, []byte{'a', 'b', 'c'}, 0.01, 2)
+	for _, k := range []int{0, 1} {
+		g.SetShards(k)
+		s.Warm(g)
+		name := "unsharded"
+		if k == 1 {
+			name = "K=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(4))
+			bs := NewBatchSolver(s, g)
+			pairs := make([]Pair, 64)
+			for i := range pairs {
+				pairs[i] = Pair{X: rng.Intn(400), Y: rng.Intn(8)}
+			}
+			for i := 0; i < b.N; i++ {
+				bs.SolveExists(pairs)
+			}
+		})
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,375 @@
+package rspq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the bulk-synchronous frontier exchange: the
+// sharded form of every backward product BFS in the engine — the
+// baseline tier's co-reachability sweep (coReach), the walk-reduction
+// tiers' distance/successor BFS (distToGoal), and the summary tier's
+// position-NFA co-reachability sweep (seqSearcher.computeCoReach).
+//
+// The graph's row space is partitioned into K contiguous shards
+// (graph.ShardedCSR). Search state over product ids (vertex, state) is
+// partitioned the same way: shard s owns exactly the ids of its vertex
+// range, so visited stamps, distances and successor links are written
+// only by s — no synchronization on the arrays themselves. Each round
+// runs two parallel phases separated by barriers:
+//
+//	expand   every worker pops its shard's frontier and walks the
+//	         shard's reverse adjacency; predecessors that land in the
+//	         same shard are settled immediately, predecessors owned by
+//	         shard t are appended to the outbox addressed s→t;
+//	deliver  every worker drains the outboxes addressed to it, settling
+//	         the ids not yet known, and swaps in its next frontier.
+//
+// Rounds repeat until every frontier is empty. The result is exactly
+// the synchronous BFS level structure, so distances (and therefore
+// answers, existence bits and shortest-walk lengths) are identical to
+// the sequential kernels; only the choice among equal-length parent
+// links can differ, which every caller treats as "any shortest witness".
+//
+// Workers are capped at min(K, GOMAXPROCS); with one worker the phases
+// run inline — no goroutines, no barriers — so a K-sharded search on
+// one core degenerates to propagation-blocked sequential BFS (the
+// outboxes then serve purely as a locality device: random writes into
+// another shard's state become sequential appends replayed within that
+// shard's cache-sized working set). This partition/outbox protocol is
+// also the on-ramp to the ROADMAP's multi-machine exchange: a remote
+// shard changes where an outbox is flushed, not the algorithm.
+
+// exMsg is one cross-shard discovery of the distToGoal exchange: the
+// product id to settle, the successor it was reached from, and the
+// graph label of that step.
+type exMsg struct {
+	id, parent int32
+	label      byte
+}
+
+// exch is the pooled scratch of one frontier exchange: per-shard
+// frontier and next-frontier lists, plus the K×K outbox matrix in the
+// two message shapes (id-only for the mark-only sweeps, full messages
+// when parent links are recorded). Outbox s→t lives at index s*K+t.
+type exch struct {
+	fr, nx [][]int32
+	box    [][]int32
+	mbox   [][]exMsg
+}
+
+var exchPool = sync.Pool{New: func() any { return new(exch) }}
+
+func getExch(K int) *exch {
+	e := exchPool.Get().(*exch)
+	if cap(e.fr) < K {
+		e.fr = make([][]int32, K)
+		e.nx = make([][]int32, K)
+	}
+	e.fr = e.fr[:K]
+	e.nx = e.nx[:K]
+	if cap(e.box) < K*K {
+		e.box = make([][]int32, K*K)
+		e.mbox = make([][]exMsg, K*K)
+	}
+	e.box = e.box[:K*K]
+	e.mbox = e.mbox[:K*K]
+	for i := range e.fr {
+		e.fr[i] = e.fr[i][:0]
+		e.nx[i] = e.nx[i][:0]
+	}
+	for i := range e.box {
+		e.box[i] = e.box[i][:0]
+		e.mbox[i] = e.mbox[i][:0]
+	}
+	return e
+}
+
+func (e *exch) release() { exchPool.Put(e) }
+
+// exchangeWorkersOverride pins the exchange worker count for tests (so
+// the parallel phases are exercised under the race detector even on a
+// single-CPU machine). 0 means min(K, GOMAXPROCS).
+var exchangeWorkersOverride atomic.Int32
+
+func exchangeWorkers(K int) int {
+	w := int(exchangeWorkersOverride.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > K {
+		w = K
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parShards applies f to every shard index, fanning out over W workers;
+// with one worker it runs inline. Each call is one BSP phase: it
+// returns only when every shard is done, so the caller's loop provides
+// the barrier.
+func parShards(W, K int, f func(s int)) {
+	if W <= 1 {
+		for s := 0; s < K; s++ {
+			f(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < K; s += W {
+				f(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// addRounds credits one exchange run's round count to the product's
+// stats sink (an Engine counter when the search runs under one).
+func (p *product) addRounds(rounds int64) {
+	if p.rounds != nil && rounds > 0 {
+		p.rounds.Add(rounds)
+	}
+}
+
+// deliverMarks is the deliver phase of the mark-only sweeps (coReach
+// and the summary position-NFA sweep): drain the id-only outboxes
+// addressed to shard s into its membership set, collect the newly
+// settled ids as s's next frontier, and swap it in.
+func deliverMarks(ex *exch, K, s int, marks *stamped) {
+	for t := 0; t < K; t++ {
+		for _, pid := range ex.box[t*K+s] {
+			if !marks.has(int(pid)) {
+				marks.add(int(pid))
+				ex.nx[s] = append(ex.nx[s], pid)
+			}
+		}
+		ex.box[t*K+s] = ex.box[t*K+s][:0]
+	}
+	ex.fr[s], ex.nx[s] = ex.nx[s], ex.fr[s][:0]
+}
+
+// frontierTotal sums the per-shard frontier sizes after a deliver
+// phase — the exchange terminates when it reaches zero.
+func frontierTotal(ex *exch, K int) int {
+	total := 0
+	for s := 0; s < K; s++ {
+		total += len(ex.fr[s])
+	}
+	return total
+}
+
+// distToGoalSharded is the frontier-exchange form of distToGoal: same
+// arena outputs (a.dst validity stamps, a.dist, a.parent, a.plabel), so
+// every consumer — sharedWalkFrom, existence lookups, exportGoalTable,
+// BaselineShortest's lower bounds — reads it exactly like the
+// sequential kernel's.
+func (p *product) distToGoalSharded(y int, a *arena) {
+	sc := p.sc
+	K := sc.NumShards()
+	nm := p.n * p.m
+	a.dst.reset(nm)
+	a.growProduct(nm)
+	ex := getExch(K)
+	home := sc.ShardOf(y)
+	for q := 0; q < p.m; q++ {
+		if p.d.Accept[q] {
+			id := p.id(y, q)
+			a.dst.add(id)
+			a.dist[id] = 0
+			ex.fr[home] = append(ex.fr[home], int32(id))
+		}
+	}
+	L := sc.NumLabels()
+	W := exchangeWorkers(K)
+	total := len(ex.fr[home])
+	rounds := int64(0)
+	for total > 0 {
+		rounds++
+		parShards(W, K, func(s int) {
+			sh := sc.Shard(s)
+			lo, hi := int32(sh.Lo()), int32(sh.Hi())
+			for _, id := range ex.fr[s] {
+				v, q := int(id)/p.m, int(id)%p.m
+				d := a.dist[id] + 1
+				for lid := 0; lid < L; lid++ {
+					di := p.lmap[lid]
+					if di < 0 {
+						continue
+					}
+					preds := p.rev.Pred(q, int(di))
+					if len(preds) == 0 {
+						continue
+					}
+					label := sc.Label(lid)
+					for _, u := range sh.InWithID(v, lid) {
+						base := int(u) * p.m
+						if u >= lo && u < hi { // own rows: settle immediately
+							for _, qp := range preds {
+								pid := base + int(qp)
+								if !a.dst.has(pid) {
+									a.dst.add(pid)
+									a.dist[pid] = d
+									a.parent[pid] = id
+									a.plabel[pid] = label
+									ex.nx[s] = append(ex.nx[s], int32(pid))
+								}
+							}
+							continue
+						}
+						t := sc.ShardOf(int(u))
+						for _, qp := range preds {
+							ex.mbox[s*K+t] = append(ex.mbox[s*K+t], exMsg{id: int32(base + int(qp)), parent: id, label: label})
+						}
+					}
+				}
+			}
+		})
+		parShards(W, K, func(s int) {
+			for t := 0; t < K; t++ {
+				for _, mg := range ex.mbox[t*K+s] {
+					id := int(mg.id)
+					if !a.dst.has(id) {
+						a.dst.add(id)
+						a.dist[id] = a.dist[mg.parent] + 1
+						a.parent[id] = mg.parent
+						a.plabel[id] = mg.label
+						ex.nx[s] = append(ex.nx[s], mg.id)
+					}
+				}
+				ex.mbox[t*K+s] = ex.mbox[t*K+s][:0]
+			}
+			ex.fr[s], ex.nx[s] = ex.nx[s], ex.fr[s][:0]
+		})
+		total = frontierTotal(ex, K)
+	}
+	p.addRounds(rounds)
+	ex.release()
+}
+
+// coReachSharded is the frontier-exchange form of coReach, leaving the
+// co-reachability set in a.co exactly like the sequential kernel.
+func (p *product) coReachSharded(y int, a *arena) {
+	sc := p.sc
+	K := sc.NumShards()
+	a.co.reset(p.n * p.m)
+	ex := getExch(K)
+	home := sc.ShardOf(y)
+	for q := 0; q < p.m; q++ {
+		if p.d.Accept[q] {
+			id := p.id(y, q)
+			a.co.add(id)
+			ex.fr[home] = append(ex.fr[home], int32(id))
+		}
+	}
+	L := sc.NumLabels()
+	W := exchangeWorkers(K)
+	total := len(ex.fr[home])
+	rounds := int64(0)
+	for total > 0 {
+		rounds++
+		parShards(W, K, func(s int) {
+			sh := sc.Shard(s)
+			lo, hi := int32(sh.Lo()), int32(sh.Hi())
+			for _, id := range ex.fr[s] {
+				v, q := int(id)/p.m, int(id)%p.m
+				for lid := 0; lid < L; lid++ {
+					di := p.lmap[lid]
+					if di < 0 {
+						continue
+					}
+					preds := p.rev.Pred(q, int(di))
+					if len(preds) == 0 {
+						continue
+					}
+					for _, u := range sh.InWithID(v, lid) {
+						base := int(u) * p.m
+						if u >= lo && u < hi {
+							for _, qp := range preds {
+								pid := base + int(qp)
+								if !a.co.has(pid) {
+									a.co.add(pid)
+									ex.nx[s] = append(ex.nx[s], int32(pid))
+								}
+							}
+							continue
+						}
+						t := sc.ShardOf(int(u))
+						for _, qp := range preds {
+							ex.box[s*K+t] = append(ex.box[s*K+t], int32(base+int(qp)))
+						}
+					}
+				}
+			}
+		})
+		parShards(W, K, func(s int) { deliverMarks(ex, K, s, &a.co) })
+		total = frontierTotal(ex, K)
+	}
+	p.addRounds(rounds)
+	ex.release()
+}
+
+// computeCoReachSharded is the frontier-exchange form of the summary
+// tier's position-NFA co-reachability sweep, marking the same
+// ss.coreach set over (vertex·posCount + position) ids. The transition
+// relation is the plan's reverse NFA arcs instead of the DFA reverse
+// index; the partition and protocol are identical.
+func (ss *seqSearcher) computeCoReachSharded() {
+	sc := ss.sc
+	K := sc.NumShards()
+	pc := ss.plan.posCount
+	ss.coreach.reset(ss.n * pc)
+	ex := getExch(K)
+	home := sc.ShardOf(ss.y)
+	for _, s := range ss.plan.accepts {
+		id := ss.y*pc + int(s)
+		if !ss.coreach.has(id) {
+			ss.coreach.add(id)
+			ex.fr[home] = append(ex.fr[home], int32(id))
+		}
+	}
+	W := exchangeWorkers(K)
+	total := len(ex.fr[home])
+	rounds := int64(0)
+	for total > 0 {
+		rounds++
+		parShards(W, K, func(s int) {
+			sh := sc.Shard(s)
+			lo, hi := int32(sh.Lo()), int32(sh.Hi())
+			for _, id := range ex.fr[s] {
+				v, pos := int(id)/pc, int(id)%pc
+				for _, arc := range ss.plan.rnfa[pos] {
+					lid := sc.LabelID(arc.label)
+					if lid < 0 {
+						continue
+					}
+					for _, u := range sh.InWithID(v, lid) {
+						pid := int(u)*pc + int(arc.from)
+						if u >= lo && u < hi {
+							if !ss.coreach.has(pid) {
+								ss.coreach.add(pid)
+								ex.nx[s] = append(ex.nx[s], int32(pid))
+							}
+						} else {
+							t := sc.ShardOf(int(u))
+							ex.box[s*K+t] = append(ex.box[s*K+t], int32(pid))
+						}
+					}
+				}
+			}
+		})
+		parShards(W, K, func(s int) { deliverMarks(ex, K, s, &ss.coreach) })
+		total = frontierTotal(ex, K)
+	}
+	if ss.rounds != nil && rounds > 0 {
+		ss.rounds.Add(rounds)
+	}
+	ex.release()
+}

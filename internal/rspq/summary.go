@@ -3,6 +3,7 @@ package rspq
 import (
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -241,9 +242,14 @@ type seqSearcher struct {
 	existsOnly bool
 	// ext, when non-nil, is a frozen co-reachability table (from a
 	// cross-query cache) used instead of computing coreach.
-	ext   *coTable
-	plan  *seqPlan
-	units []unit // aliases plan.units
+	ext *coTable
+	// sc, when non-nil, makes the co-reachability sweep run as a
+	// frontier exchange over the graph's shards (shardbfs.go); rounds
+	// receives the exchange round counts when set.
+	sc     *graph.ShardedCSR
+	rounds *atomic.Int64
+	plan   *seqPlan
+	units  []unit // aliases plan.units
 
 	coreach stamped // (v*posCount + s)
 	queue   []int32
@@ -283,14 +289,15 @@ var seqSearcherPool = sync.Pool{New: func() any { return new(seqSearcher) }}
 // (it depends only on g and y — NOT on the source x, which is supplied
 // per run call, so batched queries sharing a target reuse the table).
 func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest bool) *seqSearcher {
-	return acquireSeqSearcherCSR(g.Freeze(), seq, y, shortest, nil)
+	return acquireSeqSearcherCSR(g.Freeze(), g.FreezeSharded(), seq, y, shortest, nil, nil)
 }
 
 // acquireSeqSearcherCSR is acquireSeqSearcher against an explicit
-// frozen snapshot, optionally reusing a cached co-reachability table
-// (ext) instead of recomputing it — the summary tier's cross-query
-// cache hit path.
-func acquireSeqSearcherCSR(csr *graph.CSR, seq *psitr.Sequence, y int, shortest bool, ext *coTable) *seqSearcher {
+// frozen snapshot (monolithic plus optional partition), optionally
+// reusing a cached co-reachability table (ext) instead of recomputing
+// it — the summary tier's cross-query cache hit path. rounds, when
+// non-nil, receives frontier-exchange round counts.
+func acquireSeqSearcherCSR(csr *graph.CSR, sc *graph.ShardedCSR, seq *psitr.Sequence, y int, shortest bool, ext *coTable, rounds *atomic.Int64) *seqSearcher {
 	ss := seqSearcherPool.Get().(*seqSearcher)
 	ss.csr = csr
 	ss.n = ss.csr.NumVertices()
@@ -314,8 +321,14 @@ func acquireSeqSearcherCSR(csr *graph.CSR, seq *psitr.Sequence, y int, shortest 
 	ss.parent = ss.parent[:ss.n]
 	ss.gplabel = ss.gplabel[:ss.n]
 	ss.ext = ext
+	ss.sc = sc
+	ss.rounds = rounds
 	if ext == nil {
-		ss.computeCoReach()
+		if sc != nil && sc.NumShards() > 1 {
+			ss.computeCoReachSharded()
+		} else {
+			ss.computeCoReach()
+		}
 	}
 	return ss
 }
@@ -326,6 +339,8 @@ func (ss *seqSearcher) release() {
 	ss.units = nil
 	ss.best = nil
 	ss.ext = nil
+	ss.sc = nil
+	ss.rounds = nil
 	ss.existsOnly = false
 	seqSearcherPool.Put(ss)
 }
