@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json bench-shard serve docs
+.PHONY: check build vet test race bench bench-smoke bench-json bench-shard bench-flood serve docs
 
 check: build vet test race
 
@@ -29,6 +29,12 @@ bench-json:
 # graph, K=1/4/16 vs unsharded) — the CI shard smoke test.
 bench-shard:
 	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-shard.json -workloads shard
+
+# bench-flood: the flooding existence workloads that exercise the
+# direction-optimizing, bit-parallel coReach kernels (K=1/8, each vs a
+# pinned top-down generic reference) — the CI flood smoke test.
+bench-flood:
+	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-flood.json -workloads flood
 
 serve:
 	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'

@@ -474,21 +474,39 @@ func BenchmarkShardedBFS(b *testing.B) {
 			pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
 		}
 	}
+	// The direction dimension pits the optimized kernels (automatic
+	// top-down/bottom-up switching plus the packed ≤64-state fast path)
+	// against the pinned top-down generic kernels of the earlier
+	// revisions, per partition size.
+	dirs := []struct {
+		name    string
+		topDown bool
+	}{{"dir=opt", false}, {"dir=topdown", true}}
 	for _, k := range []int{0, 1, 4, 8, 16} {
-		name := fmt.Sprintf("K=%d", k)
+		kname := fmt.Sprintf("K=%d", k)
 		if k == 0 {
-			name = "unsharded"
+			kname = "unsharded"
 		}
-		b.Run(name, func(b *testing.B) {
-			b.ReportAllocs()
-			g.SetShards(k)
-			s.Warm(g)
-			bs := rspq.NewBatchSolver(s, g)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				bs.SolveExists(pairs)
-			}
-		})
+		for _, d := range dirs {
+			b.Run(kname+"/"+d.name, func(b *testing.B) {
+				if d.topDown {
+					rspq.SetDirectionMode(rspq.DirTopDown)
+					rspq.SetBitParallel(false)
+					defer func() {
+						rspq.SetDirectionMode(rspq.DirAuto)
+						rspq.SetBitParallel(true)
+					}()
+				}
+				b.ReportAllocs()
+				g.SetShards(k)
+				s.Warm(g)
+				bs := rspq.NewBatchSolver(s, g)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bs.SolveExists(pairs)
+				}
+			})
+		}
 	}
 }
 

@@ -73,7 +73,66 @@ func workloadGroups() []workloadGroup {
 	return []workloadGroup{
 		{"core", coreWorkloads},
 		{"shard", shardWorkloads},
+		{"flood", floodWorkloads},
 	}
+}
+
+// floodWorkloads measures the direction-optimizing, bit-parallel
+// coReach kernels on their target shape: existence-only batches whose
+// backward BFS floods most of the product of a DENSE random graph
+// (6k vertices, 720k edges, average degree 120 — past the bottom-up
+// density gate) under the 3-state subword-closed language a*(b|c)*.
+// Each K runs twice — once on the optimized kernels (auto direction
+// switching + packed ≤64-state words) and once pinned to the top-down
+// generic kernels that the pre-optimization revisions used — so the
+// recorded JSON carries the speedup itself, not just an absolute
+// number. K=1 short-circuits the exchange, making the K=1 pair a
+// single-core kernel-vs-kernel comparison.
+func floodWorkloads() []workload {
+	const floodN, floodM = 6_000, 720_000
+	rg := rand.New(rand.NewSource(23))
+	labels := []byte{'a', 'b', 'c'}
+	g := graph.New(floodN)
+	for g.NumEdges() < floodM {
+		g.AddEdge(rg.Intn(floodN), labels[rg.Intn(len(labels))], rg.Intn(floodN))
+	}
+	s := mustSolver("a*(b|c)*")
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(29))
+	pairs := make([]rspq.Pair, 0, 4*64)
+	for t := 0; t < 4; t++ {
+		y := rng.Intn(n)
+		for i := 0; i < 64; i++ {
+			pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+		}
+	}
+	run := func(k int, topDown bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			if topDown {
+				rspq.SetDirectionMode(rspq.DirTopDown)
+				rspq.SetBitParallel(false)
+				defer func() {
+					rspq.SetDirectionMode(rspq.DirAuto)
+					rspq.SetBitParallel(true)
+				}()
+			}
+			g.SetShards(k)
+			s.Warm(g)
+			bs := rspq.NewBatchSolver(s, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.SolveExists(pairs)
+			}
+		}
+	}
+	var ws []workload
+	for _, k := range []int{1, 8} {
+		ws = append(ws,
+			workload{fmt.Sprintf("flood-exists/K=%d", k), run(k, false)},
+			workload{fmt.Sprintf("flood-exists-topdown/K=%d", k), run(k, true)},
+		)
+	}
+	return ws
 }
 
 // shardWorkloads compares the frontier-exchange product BFS across

@@ -273,15 +273,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // and how far it has advanced (epoch, uptime) — without touching the
 // engine's caches.
 type healthzResponse struct {
-	Status        string  `json:"status"`
-	GoVersion     string  `json:"go_version"`
-	Revision      string  `json:"revision,omitempty"`
-	Pattern       string  `json:"pattern"`
-	Vertices      int     `json:"vertices"`
-	Edges         int     `json:"edges"`
-	Epoch         uint64  `json:"epoch"`
-	Shards        int     `json:"shards"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status         string  `json:"status"`
+	GoVersion      string  `json:"go_version"`
+	Revision       string  `json:"revision,omitempty"`
+	Pattern        string  `json:"pattern"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	Epoch          uint64  `json:"epoch"`
+	Shards         int     `json:"shards"`
+	ShardsAdaptive bool    `json:"shards_adaptive"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 // buildRevision reports the VCS revision baked into the binary, "" for
@@ -305,15 +306,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	writeJSON(w, healthzResponse{
-		Status:        "ok",
-		GoVersion:     runtime.Version(),
-		Revision:      buildRevision(),
-		Pattern:       s.pattern,
-		Vertices:      s.g.NumVertices(),
-		Edges:         s.g.NumEdges(),
-		Epoch:         s.g.Epoch(),
-		Shards:        s.g.ShardCount(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Status:         "ok",
+		GoVersion:      runtime.Version(),
+		Revision:       buildRevision(),
+		Pattern:        s.pattern,
+		Vertices:       s.g.NumVertices(),
+		Edges:          s.g.NumEdges(),
+		Epoch:          s.g.Epoch(),
+		Shards:         s.g.ShardCount(),
+		ShardsAdaptive: s.eng.ShardsAdaptive(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
 	})
 }
 
@@ -354,7 +356,7 @@ func main() {
 	tableBytes := flag.Int64("table-bytes", 0, "pruning-table cache budget (0 = default 64 MiB, negative disables)")
 	resultBytes := flag.Int64("result-bytes", 0, "result cache budget (0 = default 16 MiB, negative disables)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "partition the snapshot into this many row-range CSR shards (0 = unsharded); backward searches become a parallel frontier exchange")
+	shards := flag.Int("shards", 0, "partition the snapshot into this many row-range CSR shards (0 = adaptive from edge count and GOMAXPROCS, negative = unsharded); backward searches become a parallel frontier exchange")
 	flag.Parse()
 
 	if *pattern == "" || (*graphPath == "" && *gen <= 0) {
@@ -388,7 +390,11 @@ func main() {
 		Workers:     *workers,
 		Shards:      *shards,
 	})
-	log.Printf("rspqd: serving %q over %d vertices / %d edges (%s tier, %d shards) on %s",
-		*pattern, g.NumVertices(), g.NumEdges(), s.ChooseAlgorithm(g), g.ShardCount(), *addr)
+	shardNote := ""
+	if srv.eng.ShardsAdaptive() {
+		shardNote = " adaptive"
+	}
+	log.Printf("rspqd: serving %q over %d vertices / %d edges (%s tier, %d%s shards) on %s",
+		*pattern, g.NumVertices(), g.NumEdges(), s.ChooseAlgorithm(g), g.ShardCount(), shardNote, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }

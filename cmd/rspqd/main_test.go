@@ -282,6 +282,29 @@ func TestShardedServer(t *testing.T) {
 	if st.Engine.ExchangeRounds == 0 {
 		t.Fatal("sharded queries must accumulate frontier-exchange rounds")
 	}
+	if st.Engine.TopDownRounds+st.Engine.BottomUpRounds != st.Engine.ExchangeRounds {
+		t.Fatalf("rounds must split exactly: top-down %d + bottom-up %d != total %d",
+			st.Engine.TopDownRounds, st.Engine.BottomUpRounds, st.Engine.ExchangeRounds)
+	}
+
+	// An existence-only query on a fresh target runs the mark-only
+	// coReach sweep; a*c* packs into one word, so it must take the
+	// bit-parallel kernel and show up in the stats.
+	var q queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":1,"y":26,"exists_only":true}`, &q)
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 statsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Engine.BitParallelHits == 0 {
+		t.Fatalf("exists-only query on a ≤64-state DFA must hit the bit kernel: %+v", st2.Engine)
+	}
+
 	hzResp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -294,6 +317,59 @@ func TestShardedServer(t *testing.T) {
 	if hz.Shards != 4 {
 		t.Fatalf("healthz shards = %d; want 4", hz.Shards)
 	}
+	if hz.ShardsAdaptive {
+		t.Fatal("an explicitly configured partition must not be reported adaptive")
+	}
+}
+
+// TestAdaptiveServer boots a server with Shards == 0 on a graph big
+// enough to trip the adaptive default, and checks that /healthz and
+// /stats both report the engine-chosen partition.
+func TestAdaptiveServer(t *testing.T) {
+	g := graph.New(46000)
+	for i := 0; i < 46000; i++ {
+		g.AddEdge(i, 'a', (i+1)%46000)
+		g.AddEdge(i, 'b', (i+37)%46000)
+		g.AddEdge(i, 'c', (i+911)%46000)
+	}
+	s, err := rspq.NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, g, "a*c*", rspq.EngineConfig{})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var q queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":1}`, &q)
+	if !q.Found {
+		t.Fatal("edge 0 -a-> 1 spells a word of a*c*")
+	}
+	hzResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hzResp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(hzResp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Shards <= 1 || !hz.ShardsAdaptive {
+		t.Fatalf("healthz = %+v; want an adaptive multi-shard partition", hz)
+	}
+	stResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Shards != hz.Shards || !st.Engine.ShardsAdaptive {
+		t.Fatalf("stats partition %+v disagrees with healthz %+v", st.Engine, hz)
+	}
+	_ = srv
 }
 
 func TestStatsEndpoint(t *testing.T) {

@@ -19,6 +19,12 @@ type DFA struct {
 	// on Delta and Alphabet, so shallow copies (WithStart, Complement)
 	// may share it, and SetDelta drops it.
 	rev *RevIndex
+
+	// packed caches the bit-parallel transition table (see Packed) under
+	// the same sharing/invalidation contract as rev; packedBuilt
+	// distinguishes "not built yet" from "built, but >64 states".
+	packed      *Packed
+	packedBuilt bool
 }
 
 // NewDFA returns a complete DFA skeleton with n states whose transitions
@@ -62,6 +68,7 @@ func (d *DFA) SetDelta(q int, label byte, to int) {
 		panic(fmt.Sprintf("automaton: label %q outside alphabet %s", label, d.Alphabet))
 	}
 	d.rev = nil
+	d.packed, d.packedBuilt = nil, false
 	d.Delta[q*len(d.Alphabet)+i] = to
 }
 

@@ -114,6 +114,22 @@ func (sh *CSRShard) InWithID(v, lid int) []int32 {
 	return sh.inFrom[sh.inBucket[i]:sh.inBucket[i+1]]
 }
 
+// OutDegree returns the number of edges leaving v, which must be a row
+// of this shard — O(1) via the shard's bucket prefix sums. The
+// direction-optimizing search kernels read it per discovery to keep
+// their unvisited-edge estimate current.
+func (sh *CSRShard) OutDegree(v int) int {
+	i := (v - sh.lo) * sh.nl
+	return int(sh.outBucket[i+sh.nl] - sh.outBucket[i])
+}
+
+// InDegree returns the number of edges entering v, which must be a row
+// of this shard — O(1) via the shard's bucket prefix sums.
+func (sh *CSRShard) InDegree(v int) int {
+	i := (v - sh.lo) * sh.nl
+	return int(sh.inBucket[i+sh.nl] - sh.inBucket[i])
+}
+
 // SetShards configures the snapshot partition: the next Freeze (and
 // every one after) additionally builds a ShardedCSR with k row-range
 // shards, retrievable with FreezeSharded and picked up by the

@@ -44,16 +44,18 @@ func (s *stamped) remove(i int) { s.mark[i] = 0 }
 // arena bundles the scratch buffers of one in-flight query. Slices only
 // ever grow; the zero value is ready to use.
 type arena struct {
-	co     stamped // product co-reachability (coReach)
-	seen   stamped // visited set (product ids or vertex ids)
-	dst    stamped // validity stamps for dist
-	dist   []int32 // BFS distances, valid where dst holds
-	parent []int32 // BFS/DFS parent links, valid where seen/dst holds
-	plabel []byte  // labels of the parent links
-	queue  []int32 // BFS worklist
-	vs     []int   // path vertex scratch
-	ls     []byte  // path label scratch
-	lmap   []int16 // CSR label id -> DFA alphabet index (-1 absent)
+	co     stamped  // product co-reachability (coReach)
+	seen   stamped  // visited set (product ids or vertex ids)
+	dst    stamped  // validity stamps for dist
+	dist   []int32  // BFS distances, valid where dst holds
+	parent []int32  // BFS/DFS parent links, valid where seen/dst holds
+	plabel []byte   // labels of the parent links
+	queue  []int32  // BFS worklist / current frontier
+	queue2 []int32  // next frontier of the level-synchronous kernels
+	w64    []uint64 // packed per-vertex state words (bit-parallel kernels)
+	vs     []int    // path vertex scratch
+	ls     []byte   // path label scratch
+	lmap   []int16  // CSR label id -> DFA alphabet index (-1 absent)
 }
 
 // growProduct sizes dist/parent/plabel for ids in [0, n).
@@ -68,6 +70,20 @@ func (a *arena) growProduct(n int) {
 	a.plabel = a.plabel[:n]
 }
 
+// growWords returns the three per-vertex word arrays of a bit-parallel
+// search (visited / current frontier / next frontier), each n words,
+// zeroed. Unlike the stamped sets the words cannot be epoch-cleared —
+// membership lives in individual bits — so reuse pays one memclear;
+// the backing slice itself is pooled with the arena (0 allocs warm).
+func (a *arena) growWords(n int) (vis, cur, nxt []uint64) {
+	if cap(a.w64) < 3*n {
+		a.w64 = make([]uint64, 3*n)
+	}
+	w := a.w64[:3*n]
+	clear(w)
+	return w[:n:n], w[n : 2*n : 2*n], w[2*n:]
+}
+
 var arenaPool = sync.Pool{New: func() any { return new(arena) }}
 
 func getArena() *arena { return arenaPool.Get().(*arena) }
@@ -76,6 +92,7 @@ func (a *arena) release() {
 	// Keep the grown buffers; drop only the queue length so the next
 	// user starts from an empty worklist.
 	a.queue = a.queue[:0]
+	a.queue2 = a.queue2[:0]
 	a.vs = a.vs[:0]
 	a.ls = a.ls[:0]
 	arenaPool.Put(a)

@@ -213,16 +213,19 @@ func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result, found []bool) 
 // removal exactly like the per-query Subword path. In existence-only
 // mode each source is a single O(1) reachability lookup — no walk is
 // materialized at all (sound because the dispatcher verified the
-// language subword-closed, so a walk always yields a simple witness).
+// language subword-closed, so a walk always yields a simple witness) —
+// against the mark-only coReach sweep, which needs no successor links
+// and runs bit-parallel on ≤64-state DFAs (bitbfs.go).
 func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProduct(bs.g, bs.s.Min, a)
-	p.distToGoal(grp.y, a)
 	if found != nil {
+		p.coReach(grp.y, a)
 		for j, x := range grp.xs {
-			found[grp.idx[j]] = a.dst.has(p.id(x, p.d.Start))
+			found[grp.idx[j]] = a.co.has(p.id(x, p.d.Start))
 		}
 		return
 	}
+	p.distToGoal(grp.y, a)
 	for j, x := range grp.xs {
 		walk := p.sharedWalkFrom(a, x)
 		if walk == nil {
@@ -240,16 +243,18 @@ func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, found []bool,
 
 // batchDAG shares the same backward product BFS on acyclic inputs,
 // where every walk is already simple (Theorem 8's collapse to RPQ);
-// existence-only mode is again one O(1) lookup per source.
+// existence-only mode is again one O(1) lookup per source, against the
+// mark-only (bit-parallelizable) coReach sweep.
 func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProduct(bs.g, bs.s.Min, a)
-	p.distToGoal(grp.y, a)
 	if found != nil {
+		p.coReach(grp.y, a)
 		for j, x := range grp.xs {
-			found[grp.idx[j]] = a.dst.has(p.id(x, p.d.Start))
+			found[grp.idx[j]] = a.co.has(p.id(x, p.d.Start))
 		}
 		return
 	}
+	p.distToGoal(grp.y, a)
 	for j, x := range grp.xs {
 		if walk := p.sharedWalkFrom(a, x); walk != nil {
 			out[grp.idx[j]] = Result{Found: true, Path: walk}

@@ -1,0 +1,379 @@
+package rspq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file pins the direction-optimizing and bit-parallel kernels
+// (dirbfs.go, bitbfs.go) against the reference behavior: pure top-down
+// expansion with the generic per-state kernels — exactly what the seed
+// implementation computed. Found bits, existence bits and BFS distances
+// must be bit-identical across every direction mode, bit-parallel
+// on/off, every tier, K ∈ {1, 2, 8} and pre/post-mutation epochs;
+// witnesses are verified rather than compared (equal-length parent
+// links may differ). Forced direction switches come from the tiny
+// threshold override hook (dirAlphaOverride/dirBetaOverride).
+
+// kernelMode is one point of the kernel configuration sweep.
+type kernelMode struct {
+	name  string
+	dir   DirMode
+	bits  bool
+	alpha int64 // 0 = default threshold
+	beta  int64
+}
+
+func kernelModes() []kernelMode {
+	return []kernelMode{
+		{name: "auto", dir: DirAuto, bits: true},
+		{name: "auto-nobits", dir: DirAuto, bits: false},
+		{name: "topdown-bits", dir: DirTopDown, bits: true},
+		{name: "bottomup", dir: DirBottomUp, bits: true},
+		{name: "bottomup-nobits", dir: DirBottomUp, bits: false},
+		// α=1 makes any frontier with at least one edge flip to
+		// bottom-up; β=1000000 makes it never flip back. The opposite
+		// pair forces a switch back after one bottom-up round. Both
+		// exercise mid-run direction changes on tiny test graphs, which
+		// the default thresholds would never trigger.
+		{name: "force-switch-in", dir: DirAuto, bits: true, alpha: 1, beta: 1000000},
+		{name: "force-switch-out", dir: DirAuto, bits: false, alpha: 1, beta: 1},
+	}
+}
+
+// setKernelMode applies one sweep point, restoring the defaults via
+// t.Cleanup so no mode leaks into other tests.
+func setKernelMode(t *testing.T, m kernelMode) {
+	t.Helper()
+	SetDirectionMode(m.dir)
+	SetBitParallel(m.bits)
+	dirAlphaOverride.Store(m.alpha)
+	dirBetaOverride.Store(m.beta)
+	t.Cleanup(func() {
+		SetDirectionMode(DirAuto)
+		SetBitParallel(true)
+		dirAlphaOverride.Store(0)
+		dirBetaOverride.Store(0)
+	})
+}
+
+// referenceAnswers computes the seed-equivalent reference: strictly
+// top-down, generic kernels, unsharded.
+func referenceAnswers(t *testing.T, s *Solver, g *graph.Graph, pairs []Pair) ([]Result, []bool) {
+	t.Helper()
+	SetDirectionMode(DirTopDown)
+	SetBitParallel(false)
+	defer func() {
+		SetDirectionMode(DirAuto)
+		SetBitParallel(true)
+	}()
+	return unshardedAnswers(s, g, pairs)
+}
+
+// TestDirectionBitEquivalence is the randomized kernel-equivalence
+// suite: every tier × kernel mode × K ∈ {0, 1, 2, 8}, before and after
+// a mutation epoch, against the top-down generic reference.
+func TestDirectionBitEquivalence(t *testing.T) {
+	shardCounts := []int{0, 1, 2, 8}
+	for _, tc := range shardTierCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 2; seed++ {
+				rng := rand.New(rand.NewSource(seed*17 + 3))
+				g := tc.gen(seed)
+				isolated := g.AddVertex()
+				pairs := shardPairSet(g, isolated, rng)
+
+				check := func() {
+					want, wantEx := referenceAnswers(t, tc.solver(t), g, pairs)
+					for _, m := range kernelModes() {
+						setKernelMode(t, m)
+						for _, k := range shardCounts {
+							if k == 0 {
+								s := tc.solver(t)
+								g.SetShards(0)
+								for i, pq := range pairs {
+									got := s.Solve(g, pq.X, pq.Y)
+									if got.Found != want[i].Found {
+										t.Fatalf("mode=%s K=0 Solve(%d,%d): found=%v, reference says %v",
+											m.name, pq.X, pq.Y, got.Found, want[i].Found)
+									}
+									if !VerifyWitness(got, g, s.Min, pq.X, pq.Y) {
+										t.Fatalf("mode=%s K=0 Solve(%d,%d): invalid witness", m.name, pq.X, pq.Y)
+									}
+								}
+								ex := NewBatchSolver(s, g).SolveExists(pairs)
+								for i := range ex {
+									if ex[i] != wantEx[i] {
+										t.Fatalf("mode=%s K=0 exists pair %d: %v, want %v", m.name, i, ex[i], wantEx[i])
+									}
+								}
+								continue
+							}
+							checkShardedAgainst(t, tc.solver(t), g, k, pairs, want, wantEx)
+						}
+					}
+				}
+				check()
+
+				// One mutation epoch (alphabet-stable edge flips), then
+				// require equivalence again on the merged snapshots.
+				labels := g.Freeze().Labels()
+				g.SetShards(2)
+				g.FreezeSharded()
+				for i := 0; i < 6; i++ {
+					u, v := rng.Intn(g.NumVertices()), rng.Intn(g.NumVertices())
+					l := labels[rng.Intn(len(labels))]
+					if tc.name == "dag" && u >= v {
+						u, v = v, u+1
+						if v >= g.NumVertices() {
+							continue
+						}
+					}
+					if !g.RemoveEdge(u, l, v) {
+						g.AddEdge(u, l, v)
+					}
+				}
+				check()
+			}
+		})
+	}
+}
+
+// TestKernelSetAndDistEquality compares the kernels' raw outputs — the
+// co-reachability set and the BFS distance array — across every
+// direction/bit configuration, not just the query answers built on
+// them: distances must be exact in bottom-up rounds (BaselineShortest
+// uses them as admissible lower bounds), and the closure must be
+// identical id for id.
+func TestKernelSetAndDistEquality(t *testing.T) {
+	s, err := NewSolver("a*(bb+|())c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		g := graph.Random(26, []byte{'a', 'b', 'c'}, 0.14, seed+50)
+		for _, k := range []int{0, 2, 8} {
+			g.SetShards(k)
+			s.Warm(g)
+			for y := 0; y < g.NumVertices(); y += 5 {
+				// Reference: top-down, generic.
+				SetDirectionMode(DirTopDown)
+				SetBitParallel(false)
+				ra := getArena()
+				rp := makeProduct(g, s.Min, ra)
+				rp.coReach(y, ra)
+				nm := rp.n * rp.m
+				co := make([]bool, nm)
+				for i := 0; i < nm; i++ {
+					co[i] = ra.co.has(i)
+				}
+				rp.distToGoal(y, ra)
+				dist := make([]int32, nm)
+				for i := 0; i < nm; i++ {
+					dist[i] = -1
+					if ra.dst.has(i) {
+						dist[i] = ra.dist[i]
+					}
+				}
+				ra.release()
+
+				for _, m := range kernelModes() {
+					setKernelMode(t, m)
+					a := getArena()
+					p := makeProduct(g, s.Min, a)
+					p.coReach(y, a)
+					for i := 0; i < nm; i++ {
+						if a.co.has(i) != co[i] {
+							t.Fatalf("K=%d mode=%s y=%d: coReach differs at id %d (got %v)",
+								k, m.name, y, i, a.co.has(i))
+						}
+					}
+					p.distToGoal(y, a)
+					for i := 0; i < nm; i++ {
+						got := int32(-1)
+						if a.dst.has(i) {
+							got = a.dist[i]
+						}
+						if got != dist[i] {
+							t.Fatalf("K=%d mode=%s y=%d: dist[%d] = %d, want %d",
+								k, m.name, y, i, got, dist[i])
+						}
+					}
+					a.release()
+				}
+				SetDirectionMode(DirAuto)
+				SetBitParallel(true)
+			}
+		}
+		g.SetShards(0)
+	}
+}
+
+// TestBitParallelWideDFAFallback pins the ≤64-state gate: a DFA too
+// wide to pack must take the generic kernels (Packed() returns nil)
+// and still answer correctly.
+func TestBitParallelWideDFAFallback(t *testing.T) {
+	// a{70}b* minimizes to >64 states — wide enough to defeat packing.
+	pattern := strings.Repeat("a", 70) + "b*"
+	s, err := NewSolver(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min.NumStates <= 64 {
+		t.Fatalf("test premise broken: %d states packs into a word", s.Min.NumStates)
+	}
+	if s.Min.Packed() != nil {
+		t.Fatal("Packed() must refuse DFAs wider than 64 states")
+	}
+	// An a-labeled path DAG: the DAG tier runs the product kernels, which
+	// must fall back to the generic (unpacked) forms.
+	g := graph.New(72)
+	for i := 0; i < 71; i++ {
+		g.AddEdge(i, 'a', i+1)
+	}
+	if res := s.Solve(g, 0, 70); !res.Found {
+		t.Fatal("a^70 path must be found on the generic kernels")
+	}
+	if res := s.Solve(g, 0, 69); res.Found {
+		t.Fatal("a^69 is not in the language")
+	}
+	ex := NewBatchSolver(s, g).SolveExists([]Pair{{X: 0, Y: 70}, {X: 0, Y: 69}})
+	if !ex[0] || ex[1] {
+		t.Fatalf("existence bits on the unpacked coReach fallback: %v", ex)
+	}
+}
+
+// TestDirectionSwitchRaceClean drives the sharded exchange with forced
+// mid-run direction switches, the bit-parallel kernels, and a pinned
+// multi-worker pool, so the bottom-up phases' cross-shard reads run
+// under the race detector (CI runs this package with -race).
+func TestDirectionSwitchRaceClean(t *testing.T) {
+	exchangeWorkersOverride.Store(4)
+	defer exchangeWorkersOverride.Store(0)
+	setKernelMode(t, kernelMode{name: "race", dir: DirAuto, bits: true, alpha: 1, beta: 1000000})
+
+	for _, tc := range shardTierCases() {
+		g := tc.gen(11)
+		isolated := g.AddVertex()
+		rng := rand.New(rand.NewSource(11))
+		pairs := shardPairSet(g, isolated, rng)
+		want, wantEx := referenceAnswers(t, tc.solver(t), g, pairs)
+		// Re-apply the forced-switch mode (referenceAnswers restored the
+		// defaults around its own run).
+		SetDirectionMode(DirAuto)
+		SetBitParallel(true)
+		dirAlphaOverride.Store(1)
+		dirBetaOverride.Store(1000000)
+		checkShardedAgainst(t, tc.solver(t), g, 8, pairs, want, wantEx)
+	}
+}
+
+// TestAdaptiveShards pins the EngineConfig.Shards == 0 default: small
+// graphs stay unsharded, large ones get a partition sized from the
+// edge count, negative opts out, and Stats reports the choice.
+func TestAdaptiveShards(t *testing.T) {
+	if k := adaptiveShards(adaptiveMinEdges-1, 8); k != 0 {
+		t.Fatalf("below threshold: k = %d, want 0", k)
+	}
+	if k := adaptiveShards(adaptiveMinEdges, 4); k < 4 {
+		t.Fatalf("at threshold: k = %d, want >= procs", k)
+	}
+	if k := adaptiveShards(1<<30, 4); k != adaptiveMaxShards {
+		t.Fatalf("huge graph: k = %d, want cap %d", k, adaptiveMaxShards)
+	}
+
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := graph.Random(30, []byte{'a', 'b', 'c'}, 0.1, 1)
+	eng := NewEngine(s, small, EngineConfig{})
+	if st := eng.Stats(); st.Shards != 0 || st.ShardsAdaptive {
+		t.Fatalf("small graph must stay unsharded: %+v", st)
+	}
+
+	// 46000 vertices × 3 out-edges = 138000 edges > adaptiveMinEdges.
+	// Built as strided rings rather than graph.RandomRegular: the
+	// structure is irrelevant here and ring construction is O(edges).
+	bigRing := func() *graph.Graph {
+		g := graph.New(46000)
+		for i := 0; i < 46000; i++ {
+			g.AddEdge(i, 'a', (i+1)%46000)
+			g.AddEdge(i, 'b', (i+37)%46000)
+			g.AddEdge(i, 'c', (i+911)%46000)
+		}
+		return g
+	}
+	big := bigRing()
+	engBig := NewEngine(s, big, EngineConfig{})
+	if !engBig.ShardsAdaptive() {
+		t.Fatal("large graph must get an adaptive partition")
+	}
+	st := engBig.Stats()
+	if st.Shards <= 1 || !st.ShardsAdaptive {
+		t.Fatalf("adaptive partition missing from stats: %+v", st)
+	}
+	if res, ref := engBig.Solve(0, 1), s.Solve(big, 0, 1); res.Found != ref.Found {
+		t.Fatalf("adaptive engine answer %v diverges from solver %v", res.Found, ref.Found)
+	}
+
+	// An explicit configuration wins over the adaptive default...
+	engFixed := NewEngine(s, bigRing(), EngineConfig{Shards: 2})
+	if engFixed.ShardsAdaptive() {
+		t.Fatal("explicit Shards must not be reported adaptive")
+	}
+	if st := engFixed.Stats(); st.Shards != 2 {
+		t.Fatalf("explicit Shards = %d, want 2", st.Shards)
+	}
+	// ...and a negative value opts out entirely.
+	engOff := NewEngine(s, bigRing(), EngineConfig{Shards: -1})
+	if st := engOff.Stats(); st.Shards != 0 || st.ShardsAdaptive {
+		t.Fatalf("Shards=-1 must leave the graph unsharded: %+v", st)
+	}
+}
+
+// TestRoundAccountingSplit pins the ExchangeRounds split: every
+// exchange round is counted exactly once, as either top-down or
+// bottom-up, and ExchangeRounds is their sum.
+func TestRoundAccountingSplit(t *testing.T) {
+	s, err := NewSolver("a*c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Random(40, []byte{'a', 'b', 'c'}, 0.1, 5)
+
+	run := func(m kernelMode) EngineStats {
+		setKernelMode(t, m)
+		g.SetShards(4)
+		eng := NewEngine(s, g, EngineConfig{Shards: 4})
+		for x := 0; x < 40; x += 5 {
+			eng.Solve(x, (x+7)%40)
+			eng.Exists(x, (x+13)%40)
+		}
+		return eng.Stats()
+	}
+
+	td := run(kernelMode{name: "td", dir: DirTopDown, bits: false})
+	if td.TopDownRounds == 0 || td.BottomUpRounds != 0 {
+		t.Fatalf("forced top-down: %+v", td)
+	}
+	if td.ExchangeRounds != td.TopDownRounds+td.BottomUpRounds {
+		t.Fatalf("ExchangeRounds must be the sum: %+v", td)
+	}
+
+	bu := run(kernelMode{name: "bu", dir: DirBottomUp, bits: false})
+	if bu.BottomUpRounds == 0 {
+		t.Fatalf("forced bottom-up: %+v", bu)
+	}
+	if bu.ExchangeRounds != bu.TopDownRounds+bu.BottomUpRounds {
+		t.Fatalf("ExchangeRounds must be the sum: %+v", bu)
+	}
+
+	bits := run(kernelMode{name: "bits", dir: DirAuto, bits: true})
+	if bits.BitParallelHits == 0 {
+		t.Fatalf("a*c* packs into a word; exists queries must hit the bit kernel: %+v", bits)
+	}
+}

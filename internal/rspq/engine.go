@@ -55,9 +55,42 @@ type EngineConfig struct {
 	// engine calls g.SetShards(Shards) and every backward product
 	// search runs as a bulk-synchronous frontier exchange over the
 	// row-range shards (shardbfs.go), with workers capped at
-	// min(Shards, GOMAXPROCS). 0 leaves the graph's configuration
-	// as-is (sharded only if the caller already called SetShards).
+	// min(Shards, GOMAXPROCS). 0 — the zero value — picks a shard count
+	// adaptively from the graph's edge count and GOMAXPROCS
+	// (adaptiveShards), unless the caller already configured one via
+	// g.SetShards; small graphs stay unsharded. A negative value opts
+	// out of the adaptive default and leaves the graph's configuration
+	// untouched. EngineStats.ShardsAdaptive reports whether the running
+	// partition was chosen adaptively.
 	Shards int
+}
+
+// Adaptive shard sizing (EngineConfig.Shards == 0): graphs below
+// adaptiveMinEdges stay unsharded (the exchange's barriers would cost
+// more than the sweep), larger ones get one shard per
+// adaptiveEdgesPerShard edges — at least one per processor so the
+// exchange can use every core, capped at adaptiveMaxShards to bound
+// the K×K outbox matrix.
+const (
+	adaptiveMinEdges      = 1 << 17
+	adaptiveEdgesPerShard = 1 << 16
+	adaptiveMaxShards     = 64
+)
+
+// adaptiveShards picks the default shard count for a graph with the
+// given edge count on procs processors; 0 means stay unsharded.
+func adaptiveShards(edges, procs int) int {
+	if edges < adaptiveMinEdges {
+		return 0
+	}
+	k := edges / adaptiveEdgesPerShard
+	if k < procs {
+		k = procs
+	}
+	if k > adaptiveMaxShards {
+		k = adaptiveMaxShards
+	}
+	return k
 }
 
 // EngineStats is a point-in-time snapshot of an Engine's counters; the
@@ -75,14 +108,23 @@ type EngineStats struct {
 	FullFreezes        uint64 `json:"full_freezes"`
 	IncrementalFreezes uint64 `json:"incremental_freezes"`
 	// Shards is the snapshot partition size (0 = unsharded),
-	// ShardEdges the per-shard edge counts of the current snapshot, and
-	// ExchangeRounds the cumulative bulk-synchronous rounds run by the
-	// frontier-exchange kernels.
-	Shards         int         `json:"shards,omitempty"`
-	ShardEdges     []int       `json:"shard_edges,omitempty"`
-	ExchangeRounds int64       `json:"exchange_rounds,omitempty"`
-	Tables         cache.Stats `json:"tables"`
-	Results        cache.Stats `json:"results"`
+	// ShardsAdaptive whether the engine picked it (EngineConfig.Shards
+	// == 0) rather than the caller, and ShardEdges the per-shard edge
+	// counts of the current snapshot. ExchangeRounds is the cumulative
+	// bulk-synchronous round count of the frontier-exchange kernels —
+	// always TopDownRounds + BottomUpRounds, which split it by the
+	// direction each round ran in (dirbfs.go). BitParallelHits counts
+	// backward sweeps served by the packed ≤64-state kernels
+	// (bitbfs.go), sequential and sharded alike.
+	Shards          int         `json:"shards,omitempty"`
+	ShardsAdaptive  bool        `json:"shards_adaptive,omitempty"`
+	ShardEdges      []int       `json:"shard_edges,omitempty"`
+	ExchangeRounds  int64       `json:"exchange_rounds,omitempty"`
+	TopDownRounds   int64       `json:"top_down_rounds,omitempty"`
+	BottomUpRounds  int64       `json:"bottom_up_rounds,omitempty"`
+	BitParallelHits int64       `json:"bit_parallel_hits,omitempty"`
+	Tables          cache.Stats `json:"tables"`
+	Results         cache.Stats `json:"results"`
 }
 
 // table kinds, part of tableKey so the three tiers share one cache.
@@ -241,7 +283,12 @@ type Engine struct {
 	batches    atomic.Int64
 	batchPairs atomic.Int64
 	rebuilds   atomic.Int64
-	exchRounds atomic.Int64 // frontier-exchange rounds (sharded only)
+	counts     exchCounters // per-direction rounds + bit-parallel hits
+
+	// adaptive records that NewEngine chose the shard count itself
+	// (EngineConfig.Shards == 0 on an unconfigured graph); set once at
+	// construction, read by Stats.
+	adaptive bool
 }
 
 // NewEngine builds a serving engine for s's language on g, freezing
@@ -252,6 +299,11 @@ func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
 	e := &Engine{s: s, g: g}
 	if cfg.Shards > 0 {
 		g.SetShards(cfg.Shards)
+	} else if cfg.Shards == 0 && g.ShardCount() == 0 {
+		if k := adaptiveShards(g.NumEdges(), runtime.GOMAXPROCS(0)); k > 1 {
+			g.SetShards(k)
+			e.adaptive = true
+		}
 	}
 	if cfg.TableBytes >= 0 {
 		tb := cfg.TableBytes
@@ -289,6 +341,11 @@ func (e *Engine) SetWorkers(n int) *Engine {
 // Solver returns the compiled language the engine serves.
 func (e *Engine) Solver() *Solver { return e.s }
 
+// ShardsAdaptive reports whether the engine picked the snapshot
+// partition size itself (EngineConfig.Shards == 0 on an unconfigured
+// graph) rather than serving a caller-chosen one.
+func (e *Engine) ShardsAdaptive() bool { return e.adaptive }
+
 // snapshot returns the current consistent frozen view, rebuilding it
 // when the graph's epoch has moved past the snapshot's. Cached tables
 // and results need no purging — their keys carry the old epoch and
@@ -319,11 +376,11 @@ func (e *Engine) snapshot() *engineSnap {
 }
 
 // product builds the product view of a snapshot, carrying the partition
-// and the engine's exchange-round counter into the kernels.
+// and the engine's direction/bit-hit counters into the kernels.
 func (e *Engine) product(snap *engineSnap, a *arena) product {
 	p := makeProductCSR(snap.csr, e.s.Min, a)
 	p.sc = snap.sc
-	p.rounds = &e.exchRounds
+	p.counts = &e.counts
 	return p
 }
 
@@ -338,12 +395,16 @@ func (e *Engine) Stats() EngineStats {
 		SnapshotRebuilds: e.rebuilds.Load(),
 	}
 	st.FullFreezes, st.IncrementalFreezes = e.g.FreezeStats()
-	st.ExchangeRounds = e.exchRounds.Load()
+	st.TopDownRounds = e.counts.topDown.Load()
+	st.BottomUpRounds = e.counts.bottomUp.Load()
+	st.BitParallelHits = e.counts.bitHits.Load()
+	st.ExchangeRounds = st.TopDownRounds + st.BottomUpRounds
 	if snap != nil {
 		st.Epoch = snap.epoch
 		st.Algorithm = snap.algo.String()
 		if snap.sc != nil {
 			st.Shards = snap.sc.NumShards()
+			st.ShardsAdaptive = e.adaptive
 			st.ShardEdges = make([]int, snap.sc.NumShards())
 			for s := range st.ShardEdges {
 				st.ShardEdges[s] = snap.sc.ShardEdges(s)
@@ -439,6 +500,9 @@ func (e *Engine) solveOne(snap *engineSnap, a *arena, x, y int, existsOnly bool)
 		}
 		return finiteWithWords(snap.csr, finiteWords(e.s.Min), x, y)
 	case AlgoSubword, AlgoDAG:
+		if existsOnly {
+			return e.existsGoal(snap, a, x, y)
+		}
 		v := e.goalViewFor(snap, a, y)
 		return e.answerGoal(v, snap.algo, x, existsOnly)
 	case AlgoSummary:
@@ -476,7 +540,7 @@ func (e *Engine) acquireSummary(snap *engineSnap, seq *psitr.Sequence, si, y int
 			ext = v.(*coTable)
 		}
 	}
-	ss := acquireSeqSearcherCSR(snap.csr, snap.sc, seq, y, false, ext, &e.exchRounds)
+	ss := acquireSeqSearcherCSR(snap.csr, snap.sc, seq, y, false, ext, &e.counts)
 	if ext == nil && e.tables != nil && e.tables.Retainable(coTableCost(ss.n*ss.plan.posCount)) {
 		t := ss.exportCoReach()
 		e.tables.Put(key, t, t.cost())
@@ -547,6 +611,39 @@ func (e *Engine) answerGoal(v goalView, algo Algorithm, x int, existsOnly bool) 
 		return Result{Found: true, Path: simple}
 	}
 	return Result{Found: true, Path: walk}
+}
+
+// cachedGoalTable returns target y's cached backward-BFS table, nil on
+// miss (without computing one).
+func (e *Engine) cachedGoalTable(snap *engineSnap, y int) *goalTable {
+	if e.tables == nil {
+		return nil
+	}
+	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, shards: snap.shards(), kind: tableGoal}
+	if v, ok := e.tables.Get(key); ok {
+		return v.(*goalTable)
+	}
+	return nil
+}
+
+// existsGoal answers one existence-only query on the walk-reduction
+// tiers. Existence needs no successor links — (x, start) reaches the
+// goal iff it is co-reachable — so on a goal-table miss the answer
+// comes from the mark-only coReach sweep (bit-parallel when the DFA
+// packs into a word, bitbfs.go) instead of the heavier link-recording
+// distToGoal, and feeds the baseline tier's co table cache. A cached
+// goal table (left by earlier witness queries on the same target) still
+// answers in O(1).
+func (e *Engine) existsGoal(snap *engineSnap, a *arena, x, y int) Result {
+	m, start := e.s.Min.NumStates, e.s.Min.Start
+	if t := e.cachedGoalTable(snap, y); t != nil {
+		return Result{Found: t.dist[x*m+start] >= 0}
+	}
+	p := e.product(snap, a)
+	if t := e.coTableFor(snap, &p, a, y); t != nil {
+		return Result{Found: t.has(x*m + start)}
+	}
+	return Result{Found: a.co.has(p.id(x, start))}
 }
 
 // coTableFor returns the baseline co-reachability table for target y —
@@ -678,6 +775,27 @@ func (e *Engine) solveGroup(snap *engineSnap, a *arena, grp *batchGroup, out []R
 			record(j, finiteWithWords(snap.csr, words, x, grp.y))
 		}
 	case AlgoSubword, AlgoDAG:
+		if existsOnly {
+			// One mark-only sweep (bit-parallel when applicable) serves
+			// every source of the group; see existsGoal.
+			m, start := e.s.Min.NumStates, e.s.Min.Start
+			if t := e.cachedGoalTable(snap, grp.y); t != nil {
+				for j, x := range grp.xs {
+					record(j, Result{Found: t.dist[x*m+start] >= 0})
+				}
+				return
+			}
+			p := e.product(snap, a)
+			t := e.coTableFor(snap, &p, a, grp.y)
+			for j, x := range grp.xs {
+				if t != nil {
+					record(j, Result{Found: t.has(x*m + start)})
+				} else {
+					record(j, Result{Found: a.co.has(p.id(x, start))})
+				}
+			}
+			return
+		}
 		v := e.goalViewFor(snap, a, grp.y)
 		for j, x := range grp.xs {
 			record(j, e.answerGoal(v, snap.algo, x, existsOnly))

@@ -22,7 +22,6 @@ package rspq
 
 import (
 	"slices"
-	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -66,9 +65,9 @@ func VerifyWitness(res Result, g *graph.Graph, d *automaton.DFA, x, y int) bool 
 // When the graph carries a partitioned snapshot (graph.SetShards), sc
 // is set and the backward kernels (coReach, distToGoal) run as a
 // bulk-synchronous frontier exchange over the shards instead of a
-// single queue-driven sweep — see shardbfs.go. rounds, when non-nil,
-// accumulates the exchange round counts (Engine wires its stats counter
-// here).
+// single queue-driven sweep — see shardbfs.go. counts, when non-nil,
+// accumulates the per-direction round and bit-parallel hit counts
+// (Engine wires its stats counters here).
 type product struct {
 	csr  *graph.CSR
 	d    *automaton.DFA
@@ -78,7 +77,7 @@ type product struct {
 	lmap []int16 // CSR label id -> DFA alphabet index, -1 when absent
 
 	sc     *graph.ShardedCSR // nil → sequential kernels
-	rounds *atomic.Int64     // frontier-exchange round sink, may be nil
+	counts *exchCounters     // direction/bit-hit stats sink, may be nil
 }
 
 func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {
@@ -104,53 +103,42 @@ func makeProductCSR(csr *graph.CSR, d *automaton.DFA, a *arena) product {
 
 func (p *product) id(v, q int) int { return v*p.m + q }
 
+// packed returns the DFA's bit-parallel transition table when the
+// packed kernels apply — at most 64 states and not disabled via
+// SetBitParallel — else nil. Solver/Engine construction pre-builds the
+// table (DFA.Packed is lazily cached), so this is a field read on the
+// query path.
+func (p *product) packed() *automaton.Packed {
+	if !bitParallelEnabled() {
+		return nil
+	}
+	return p.d.Packed()
+}
+
 // coReach computes, for every (v, q), whether some walk from v labeled
 // w with ∆(q, w) accepting reaches y. This ignores simplicity and is
 // the standard pruning oracle for the simple-path searches. The result
-// is left in a.co. On a sharded product it runs as a frontier exchange
-// (shardbfs.go); the resulting set is identical.
+// is left in a.co. Dispatch picks the fastest applicable kernel: the
+// bit-parallel forms (bitbfs.go) when the DFA packs into one word, the
+// frontier exchange (shardbfs.go) on a sharded product — a single-shard
+// partition degenerates to the sequential sweep, so the exchange runs
+// only for K > 1 — and the direction-optimizing sequential sweep
+// (dirbfs.go) otherwise. All four produce the identical set.
 func (p *product) coReach(y int, a *arena) {
+	pk := p.packed()
 	if p.sc != nil && p.sc.NumShards() > 1 {
-		// A single-shard partition degenerates to this sequential sweep,
-		// so the exchange runs only for K > 1.
-		p.coReachSharded(y, a)
+		if pk != nil {
+			p.coReachBitsSharded(y, a, pk)
+		} else {
+			p.coReachSharded(y, a)
+		}
 		return
 	}
-	a.co.reset(p.n * p.m)
-	queue := a.queue[:0]
-	for q := 0; q < p.m; q++ {
-		if p.d.Accept[q] {
-			id := p.id(y, q)
-			a.co.add(id)
-			queue = append(queue, int32(id))
-		}
+	if pk != nil {
+		p.coReachBits(y, a, pk)
+		return
 	}
-	L := p.csr.NumLabels()
-	for at := 0; at < len(queue); at++ {
-		id := int(queue[at])
-		v, q := id/p.m, id%p.m
-		for lid := 0; lid < L; lid++ {
-			di := p.lmap[lid]
-			if di < 0 {
-				continue
-			}
-			preds := p.rev.Pred(q, int(di))
-			if len(preds) == 0 {
-				continue
-			}
-			for _, u := range p.csr.InWithID(v, lid) {
-				base := int(u) * p.m
-				for _, qp := range preds {
-					pid := base + int(qp)
-					if !a.co.has(pid) {
-						a.co.add(pid)
-						queue = append(queue, int32(pid))
-					}
-				}
-			}
-		}
-	}
-	a.queue = queue
+	p.coReachSeq(y, a)
 }
 
 // distToGoal computes product BFS distances to the accepting goal
@@ -162,54 +150,15 @@ func (p *product) coReach(y int, a *arena) {
 // (see sharedWalkFrom). On a sharded product it runs as a frontier
 // exchange (shardbfs.go): distances are identical (the exchange is
 // synchronous BFS), parent links may name a different — equally short —
-// successor.
+// successor. Both forms are direction-optimizing; distToGoal has no
+// bit-parallel form because packed words cannot carry the per-id
+// successor links this kernel exists to record.
 func (p *product) distToGoal(y int, a *arena) {
 	if p.sc != nil && p.sc.NumShards() > 1 {
 		p.distToGoalSharded(y, a)
 		return
 	}
-	nm := p.n * p.m
-	a.dst.reset(nm)
-	a.growProduct(nm)
-	queue := a.queue[:0]
-	for q := 0; q < p.m; q++ {
-		if p.d.Accept[q] {
-			id := p.id(y, q)
-			a.dst.add(id)
-			a.dist[id] = 0
-			queue = append(queue, int32(id))
-		}
-	}
-	L := p.csr.NumLabels()
-	for at := 0; at < len(queue); at++ {
-		id := int(queue[at])
-		v, q := id/p.m, id%p.m
-		for lid := 0; lid < L; lid++ {
-			di := p.lmap[lid]
-			if di < 0 {
-				continue
-			}
-			preds := p.rev.Pred(q, int(di))
-			if len(preds) == 0 {
-				continue
-			}
-			label := p.csr.Label(lid)
-			for _, u := range p.csr.InWithID(v, lid) {
-				base := int(u) * p.m
-				for _, qp := range preds {
-					pid := base + int(qp)
-					if !a.dst.has(pid) {
-						a.dst.add(pid)
-						a.dist[pid] = a.dist[id] + 1
-						a.parent[pid] = int32(id)
-						a.plabel[pid] = label
-						queue = append(queue, int32(pid))
-					}
-				}
-			}
-		}
-	}
-	a.queue = queue
+	p.distToGoalSeq(y, a)
 }
 
 // distAt returns the product distance computed by distToGoal, -1 when

@@ -114,6 +114,7 @@ func NewSolverFromRegex(r *automaton.Regex) (*Solver, error) {
 	// Prebuild the language-side indexes so first queries — and
 	// concurrent ones — never race on lazy construction.
 	s.Min.Rev()
+	s.Min.Packed()
 	if s.Classification.Finite {
 		s.words = finiteWords(s.Min)
 	}

@@ -3,7 +3,6 @@ package rspq
 import (
 	"slices"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -97,17 +96,27 @@ type revArc struct {
 	label byte
 }
 
+// fwdArc is one forward transition of the eps-free position NFA, used
+// by the bottom-up rounds of the co-reachability sweep (a bottom-up
+// probe asks "does (v, pos) step INTO the frontier", which walks the
+// NFA forward).
+type fwdArc struct {
+	to    int32
+	label byte
+}
+
 // seqPlan is the compiled, immutable evaluation plan of one Ψtr
-// sequence: the unit list plus the eps-free position NFA in the two
+// sequence: the unit list plus the eps-free position NFA in the
 // orientations the searcher needs (forward states inside units, reverse
-// arcs for the co-reachability table). Plans depend only on the
-// sequence, so they are memoized in planCache and shared by every query
-// and every goroutine.
+// arcs for the top-down co-reachability sweep, forward arcs for its
+// bottom-up rounds). Plans depend only on the sequence, so they are
+// memoized in planCache and shared by every query and every goroutine.
 type seqPlan struct {
 	units    []unit
 	startPos int
 	posCount int
 	rnfa     [][]revArc
+	fnfa     [][]fwdArc
 	accepts  []int32
 }
 
@@ -188,9 +197,11 @@ func buildPlan(seq *psitr.Sequence) *seqPlan {
 	pl.posCount = ef.NumStates
 	pl.startPos = ef.Start
 	pl.rnfa = make([][]revArc, ef.NumStates)
+	pl.fnfa = make([][]fwdArc, ef.NumStates)
 	for q := 0; q < ef.NumStates; q++ {
 		for _, e := range ef.Edges[q] {
 			pl.rnfa[e.To] = append(pl.rnfa[e.To], revArc{from: int32(q), label: e.Label})
+			pl.fnfa[q] = append(pl.fnfa[q], fwdArc{to: int32(e.To), label: e.Label})
 		}
 	}
 	for s := 0; s < ef.NumStates; s++ {
@@ -244,15 +255,16 @@ type seqSearcher struct {
 	// cross-query cache) used instead of computing coreach.
 	ext *coTable
 	// sc, when non-nil, makes the co-reachability sweep run as a
-	// frontier exchange over the graph's shards (shardbfs.go); rounds
-	// receives the exchange round counts when set.
+	// frontier exchange over the graph's shards (shardbfs.go); counts
+	// receives the per-direction exchange round counts when set.
 	sc     *graph.ShardedCSR
-	rounds *atomic.Int64
+	counts *exchCounters
 	plan   *seqPlan
 	units  []unit // aliases plan.units
 
 	coreach stamped // (v*posCount + s)
 	queue   []int32
+	queue2  []int32
 
 	used []bool
 	skel []skelElem
@@ -295,9 +307,9 @@ func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest boo
 // acquireSeqSearcherCSR is acquireSeqSearcher against an explicit
 // frozen snapshot (monolithic plus optional partition), optionally
 // reusing a cached co-reachability table (ext) instead of recomputing
-// it — the summary tier's cross-query cache hit path. rounds, when
-// non-nil, receives frontier-exchange round counts.
-func acquireSeqSearcherCSR(csr *graph.CSR, sc *graph.ShardedCSR, seq *psitr.Sequence, y int, shortest bool, ext *coTable, rounds *atomic.Int64) *seqSearcher {
+// it — the summary tier's cross-query cache hit path. counts, when
+// non-nil, receives per-direction frontier-exchange round counts.
+func acquireSeqSearcherCSR(csr *graph.CSR, sc *graph.ShardedCSR, seq *psitr.Sequence, y int, shortest bool, ext *coTable, counts *exchCounters) *seqSearcher {
 	ss := seqSearcherPool.Get().(*seqSearcher)
 	ss.csr = csr
 	ss.n = ss.csr.NumVertices()
@@ -322,7 +334,7 @@ func acquireSeqSearcherCSR(csr *graph.CSR, sc *graph.ShardedCSR, seq *psitr.Sequ
 	ss.gplabel = ss.gplabel[:ss.n]
 	ss.ext = ext
 	ss.sc = sc
-	ss.rounds = rounds
+	ss.counts = counts
 	if ext == nil {
 		if sc != nil && sc.NumShards() > 1 {
 			ss.computeCoReachSharded()
@@ -340,7 +352,7 @@ func (ss *seqSearcher) release() {
 	ss.best = nil
 	ss.ext = nil
 	ss.sc = nil
-	ss.rounds = nil
+	ss.counts = nil
 	ss.existsOnly = false
 	seqSearcherPool.Put(ss)
 }
@@ -360,38 +372,86 @@ func (ss *seqSearcher) exportCoReach() *coTable {
 
 // computeCoReach marks the (vertex, position) pairs from which the
 // remaining sequence can still be matched by some walk to y (ignoring
-// simplicity) — the pruning oracle. The backward BFS walks the plan's
-// precomputed reverse NFA arcs against the CSR's label-bucketed
-// in-edges.
+// simplicity) — the pruning oracle. The sweep is level-synchronous and
+// direction-optimizing (dirbfs.go): top-down rounds walk the plan's
+// reverse NFA arcs against the CSR's label-bucketed in-edges, bottom-up
+// rounds walk the forward arcs against the out-edges; as a mark-only
+// closure it may observe same-round marks bottom-up (only faster).
 func (ss *seqSearcher) computeCoReach() {
 	pc := ss.plan.posCount
 	ss.coreach.reset(ss.n * pc)
-	queue := ss.queue[:0]
+	cur, nxt := ss.queue[:0], ss.queue2[:0]
+	frontEdges := int64(0)
+	unvisEdges := int64(pc) * int64(ss.csr.NumEdges())
 	for _, s := range ss.plan.accepts {
 		id := ss.y*pc + int(s)
 		if !ss.coreach.has(id) {
 			ss.coreach.add(id)
-			queue = append(queue, int32(id))
+			cur = append(cur, int32(id))
+			frontEdges += int64(ss.csr.InDegree(ss.y))
+			unvisEdges -= int64(ss.csr.OutDegree(ss.y))
 		}
 	}
-	for at := 0; at < len(queue); at++ {
-		id := int(queue[at])
-		v, s := id/pc, id%pc
-		for _, arc := range ss.plan.rnfa[s] {
-			lid := ss.csr.LabelID(arc.label)
-			if lid < 0 {
-				continue
+	bottomUp, dense := false, dirDense(ss.csr.NumEdges(), ss.n)
+	for len(cur) > 0 {
+		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(ss.n*pc))
+		frontEdges = 0
+		nxt = nxt[:0]
+		if bottomUp {
+			for v := 0; v < ss.n; v++ {
+				base := v * pc
+				for pos := 0; pos < pc; pos++ {
+					id := base + pos
+					if ss.coreach.has(id) || !ss.buProbeSeqLocal(v, pos, pc) {
+						continue
+					}
+					ss.coreach.add(id)
+					nxt = append(nxt, int32(id))
+					frontEdges += int64(ss.csr.InDegree(v))
+					unvisEdges -= int64(ss.csr.OutDegree(v))
+				}
 			}
-			for _, u := range ss.csr.InWithID(v, lid) {
-				pid := int(u)*pc + int(arc.from)
-				if !ss.coreach.has(pid) {
-					ss.coreach.add(pid)
-					queue = append(queue, int32(pid))
+		} else {
+			for _, id := range cur {
+				v, s := int(id)/pc, int(id)%pc
+				for _, arc := range ss.plan.rnfa[s] {
+					lid := ss.csr.LabelID(arc.label)
+					if lid < 0 {
+						continue
+					}
+					for _, u := range ss.csr.InWithID(v, lid) {
+						pid := int(u)*pc + int(arc.from)
+						if !ss.coreach.has(pid) {
+							ss.coreach.add(pid)
+							nxt = append(nxt, int32(pid))
+							frontEdges += int64(ss.csr.InDegree(int(u)))
+							unvisEdges -= int64(ss.csr.OutDegree(int(u)))
+						}
+					}
 				}
 			}
 		}
+		cur, nxt = nxt, cur
 	}
-	ss.queue = queue
+	ss.queue, ss.queue2 = cur[:0], nxt[:0]
+}
+
+// buProbeSeqLocal reports whether unmarked (v, pos) steps into the
+// already-marked set through some forward NFA arc and graph out-edge —
+// the sequential bottom-up probe of the summary sweep.
+func (ss *seqSearcher) buProbeSeqLocal(v, pos, pc int) bool {
+	for _, arc := range ss.plan.fnfa[pos] {
+		lid := ss.csr.LabelID(arc.label)
+		if lid < 0 {
+			continue
+		}
+		for _, u := range ss.csr.OutWithID(v, lid) {
+			if ss.coreach.has(int(u)*pc + int(arc.to)) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (ss *seqSearcher) ok(v, pos int) bool {
