@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json bench-shard bench-flood serve docs
+.PHONY: check build vet test race bench bench-smoke bench-json bench-shard bench-flood bench-overlay serve docs
 
 check: build vet test race
 
@@ -35,6 +35,13 @@ bench-shard:
 # pinned top-down generic reference) — the CI flood smoke test.
 bench-flood:
 	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-flood.json -workloads flood
+
+# bench-overlay: the no-freeze read path (graph.View) vs stop-the-world
+# refreeze+query across pending-delta sizes on a 1M-edge graph — the CI
+# overlay smoke test. The refactor's bar: overlay-read beats
+# refreeze-read by ≥3x at the 1% delta point.
+bench-overlay:
+	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-overlay.json -workloads overlay
 
 serve:
 	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'

@@ -27,28 +27,38 @@
 // The graph file uses the line format of internal/graph ("n <count>" /
 // "e <from> <label> <to>"). The mutation endpoints demonstrate the
 // epoch machinery end to end: a mutation bumps the graph's epoch, so
-// every cached table and result goes stale automatically and the next
-// query re-freezes the snapshot — incrementally, by merging the
-// accumulated delta into the previous CSR (graph/delta.go), so a
-// streaming client that interleaves /edges batches with queries never
-// pays a full O(V+E) rebuild per mutation epoch. POST /edges applies a
-// whole delta batch (adds and tombstoned removes) under one write-lock
-// acquisition — the epoch advances per applied mutation, but the whole
-// batch is answered by a single incremental refreeze on the next
-// query. Mutations take the server's write lock; queries share a read
-// lock.
+// every cached table and result goes stale automatically — but queries
+// never take the write path's freeze. The next query pins the pending
+// delta as a sorted read overlay on the last frozen CSR (graph.View),
+// so a streaming client that interleaves /edges batches with queries
+// pays O(delta) per snapshot pin, not a stop-the-world rebuild.
+// Merging the delta back into a flat CSR is the job of the background
+// compaction goroutine: every -compact-every it checks the pending
+// delta against the -compact-delta watermark under a read lock and,
+// when due, takes the write lock — the same exclusion as mutations —
+// for one Engine.Compact. POST /edges applies a whole delta batch
+// (adds and tombstoned removes) under one write-lock acquisition.
+// Mutations take the server's write lock; queries share a read lock.
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener stops
+// accepting, in-flight requests get up to -drain to finish, and the
+// compaction goroutine exits cleanly before the process does.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/graph"
@@ -77,6 +87,39 @@ func newServer(s *rspq.Solver, g *graph.Graph, pattern string, cfg rspq.EngineCo
 		pattern: pattern,
 		started: time.Now(),
 	}
+}
+
+// compactLoop is the background compaction goroutine: it polls the
+// pending-delta watermark every interval and merges the delta into a
+// flat CSR when due, keeping the query path free of refreezes. It
+// returns when ctx is canceled (graceful shutdown).
+func (s *server) compactLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.maybeCompact()
+		}
+	}
+}
+
+// maybeCompact checks the watermark under a read lock (cheap, shared
+// with in-flight queries) and only takes the write lock — the same
+// exclusion as mutations — when a compaction is actually due. It
+// reports whether a compaction ran.
+func (s *server) maybeCompact() bool {
+	s.mu.RLock()
+	due := s.eng.NeedsCompaction()
+	s.mu.RUnlock()
+	if !due {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Compact()
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -280,6 +323,8 @@ type healthzResponse struct {
 	Vertices       int     `json:"vertices"`
 	Edges          int     `json:"edges"`
 	Epoch          uint64  `json:"epoch"`
+	PendingAdds    int     `json:"pending_adds"`
+	PendingRemoves int     `json:"pending_removes"`
 	Shards         int     `json:"shards"`
 	ShardsAdaptive bool    `json:"shards_adaptive"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
@@ -305,6 +350,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	adds, removes := s.g.PendingDelta()
 	writeJSON(w, healthzResponse{
 		Status:         "ok",
 		GoVersion:      runtime.Version(),
@@ -313,6 +359,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Vertices:       s.g.NumVertices(),
 		Edges:          s.g.NumEdges(),
 		Epoch:          s.g.Epoch(),
+		PendingAdds:    adds,
+		PendingRemoves: removes,
 		Shards:         s.g.ShardCount(),
 		ShardsAdaptive: s.eng.ShardsAdaptive(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
@@ -357,6 +405,9 @@ func main() {
 	resultBytes := flag.Int64("result-bytes", 0, "result cache budget (0 = default 16 MiB, negative disables)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "partition the snapshot into this many row-range CSR shards (0 = adaptive from edge count and GOMAXPROCS, negative = unsharded); backward searches become a parallel frontier exchange")
+	compactDelta := flag.Int("compact-delta", 0, "pending-delta watermark triggering a background compaction (0 = engine default, negative disables the compactor)")
+	compactEvery := flag.Duration("compact-every", 250*time.Millisecond, "background compaction poll interval")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	if *pattern == "" || (*graphPath == "" && *gen <= 0) {
@@ -385,10 +436,11 @@ func main() {
 		log.Fatalf("rspqd: compile %q: %v", *pattern, err)
 	}
 	srv := newServer(s, g, *pattern, rspq.EngineConfig{
-		TableBytes:  *tableBytes,
-		ResultBytes: *resultBytes,
-		Workers:     *workers,
-		Shards:      *shards,
+		TableBytes:   *tableBytes,
+		ResultBytes:  *resultBytes,
+		Workers:      *workers,
+		Shards:       *shards,
+		CompactDelta: *compactDelta,
 	})
 	shardNote := ""
 	if srv.eng.ShardsAdaptive() {
@@ -396,5 +448,36 @@ func main() {
 	}
 	log.Printf("rspqd: serving %q over %d vertices / %d edges (%s tier, %d%s shards) on %s",
 		*pattern, g.NumVertices(), g.NumEdges(), s.ChooseAlgorithm(g), g.ShardCount(), shardNote, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var compactor sync.WaitGroup
+	if *compactDelta >= 0 {
+		compactor.Add(1)
+		go func() {
+			defer compactor.Done()
+			srv.compactLoop(ctx, *compactEvery)
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("rspqd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal during the drain kills the process the default way
+	log.Printf("rspqd: shutdown signal received; draining for up to %s", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rspqd: drain: %v", err)
+	}
+	compactor.Wait() // the compaction goroutine finishes its cycle and exits
+	adds, removes := g.PendingDelta()
+	log.Printf("rspqd: drained; exiting with delta (%d adds, %d removes) pending", adds, removes)
 }

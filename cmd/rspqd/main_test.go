@@ -169,16 +169,38 @@ func TestEdgesBulkDelta(t *testing.T) {
 	if !q.Found || q.Path == nil || q.Path.Word != "c" {
 		t.Fatalf("post-delta query(3,0) = %+v; want path c", q)
 	}
-	// The first delta introduced label 'c', an alphabet change, so that
-	// refreeze was a (correct) full rebuild. A second delta within the
-	// now-known alphabet must take the incremental merge path.
+	// The first delta introduced label 'c', an alphabet change past the
+	// overlay regime, so that pin was a (correct) synchronous rebuild. A
+	// second delta within the now-known alphabet must be served through
+	// an overlay view — no freeze on the query path, delta left pending
+	// for the background compactor.
 	postJSON(t, ts.URL+"/edges", `{"add":[{"from":2,"label":"c","to":0}],"remove":[{"from":0,"label":"a","to":1}]}`, &resp)
 	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &q)
 	if !q.Found {
 		t.Fatal("3 -c-> 0 must survive the second delta")
 	}
-	if _, inc := srv.g.FreezeStats(); inc == 0 {
-		t.Fatal("same-alphabet delta must be merged incrementally, not rebuilt")
+	if adds, removes := srv.g.PendingDelta(); adds+removes == 0 {
+		t.Fatal("same-alphabet delta must be served as a pending overlay, not frozen by the query")
+	}
+	st := srv.eng.Stats()
+	if st.OverlayReads == 0 {
+		t.Fatalf("expected overlay-served queries, got %+v", st)
+	}
+	// The compactor's write-locked merge drains the delta off the query
+	// path; answers are unchanged. (The watermark poll wouldn't trigger
+	// on a 2-edge delta, so compact directly under the same lock.)
+	srv.mu.Lock()
+	compacted := srv.eng.Compact()
+	srv.mu.Unlock()
+	if !compacted {
+		t.Fatal("compaction must report work with a pending delta")
+	}
+	if adds, removes := srv.g.PendingDelta(); adds+removes != 0 {
+		t.Fatalf("compaction must drain the delta, still (%d,%d)", adds, removes)
+	}
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, &q)
+	if !q.Found {
+		t.Fatal("3 -c-> 0 must survive compaction")
 	}
 
 	// Validation rejects the whole batch before applying anything.

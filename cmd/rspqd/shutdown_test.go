@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+func jsonBody(s string) io.Reader { return strings.NewReader(s) }
+
+// TestCompactLoopWatermark drives the background compaction goroutine
+// end to end: mutations push the pending delta past the watermark, the
+// loop's next poll takes the write lock and drains it, and queries keep
+// answering correctly throughout.
+func TestCompactLoopWatermark(t *testing.T) {
+	g := graph.New(64)
+	for i := 0; i < 64; i++ {
+		g.AddEdge(i, 'a', (i+1)%64)
+	}
+	s, err := rspq.NewSolver("a*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watermark 4: the 8-add delta below must trigger the compactor.
+	srv := newServer(s, g, "a*", rspq.EngineConfig{CompactDelta: 4})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.compactLoop(ctx, time.Millisecond)
+	}()
+
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":5}`, nil) // freeze the base
+	var body string
+	for i := 0; i < 8; i++ {
+		body += fmt.Sprintf(`{"from":%d,"label":"a","to":%d},`, i, 62-i)
+	}
+	postJSON(t, ts.URL+"/edges", `{"add":[`+body[:len(body)-1]+`]}`, nil)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.RLock()
+		adds, removes := srv.g.PendingDelta()
+		srv.mu.RUnlock()
+		if adds+removes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compaction loop never drained the delta (%d,%d)", adds, removes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var q queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":60}`, &q)
+	if !q.Found {
+		t.Fatal("compacted graph must still answer queries")
+	}
+	srv.mu.RLock()
+	st := srv.eng.Stats()
+	srv.mu.RUnlock()
+	if st.Compactions == 0 {
+		t.Fatalf("stats must count the background compaction: %+v", st)
+	}
+
+	// Graceful stop: cancel must end the loop promptly.
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compactLoop did not exit after context cancellation")
+	}
+}
+
+// TestGracefulShutdownDrains exercises the http.Server drain path the
+// way main wires it: in-flight requests finish, new connections are
+// refused, and the compaction goroutine exits before Shutdown returns
+// to the caller's wait.
+func TestGracefulShutdownDrains(t *testing.T) {
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddEdge(i, 'a', (i+1)%8)
+	}
+	s, err := rspq.NewSolver("a*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, g, "a*", rspq.EngineConfig{})
+
+	ctx, stop := context.WithCancel(context.Background())
+	var compactor sync.WaitGroup
+	compactor.Add(1)
+	go func() {
+		defer compactor.Done()
+		srv.compactLoop(ctx, time.Millisecond)
+	}()
+
+	httpSrv := httptest.NewServer(srv.routes())
+	client := httpSrv.Client()
+
+	// A burst of concurrent queries in flight while shutdown starts.
+	var queries sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		queries.Add(1)
+		go func(w int) {
+			defer queries.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20; i++ {
+				resp, err := client.Post(httpSrv.URL+"/query", "application/json",
+					jsonBody(fmt.Sprintf(`{"x":%d,"y":%d}`, rng.Intn(8), rng.Intn(8))))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var q queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&q)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	queries.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("query during steady state failed: %v", err)
+	}
+
+	// The drain sequence of main(): stop the compactor, shut the server
+	// down with a deadline, then wait for the goroutine.
+	stop()
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Config.Shutdown(dctx); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { compactor.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compaction goroutine did not exit during drain")
+	}
+	// The listener is closed: new requests must fail.
+	if _, err := client.Post(httpSrv.URL+"/query", "application/json", jsonBody(`{"x":0,"y":1}`)); err == nil {
+		t.Fatal("requests after shutdown must be refused")
+	}
+}

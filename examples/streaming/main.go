@@ -1,11 +1,15 @@
 // Streaming: interleave edge deltas with serving-engine queries and
-// watch the epoch, cache and freeze counters as the graph evolves.
+// watch the epoch, cache and overlay counters as the graph evolves.
 //
 // Every mutation batch advances the graph's epoch, invalidating the
-// engine's cached tables and results by key (no purge calls); the next
-// query refreezes the snapshot by merging the delta into the previous
-// CSR instead of rebuilding it, so the steady state of this loop is
-// incremental freezes only — the final stats line proves it.
+// engine's cached tables and results by key (no purge calls). Queries
+// never stall on a refreeze: the next query pins the pending delta as
+// a sorted read overlay on the last frozen CSR (graph.View), so the
+// steady state of this loop is overlay reads with zero freezes after
+// the initial build. Merging the delta back into a flat CSR is a
+// separate, off-the-query-path step — Engine.Compact — which this loop
+// runs once at the end, the way cmd/rspqd's background compaction
+// goroutine would when the delta crosses its watermark.
 //
 //	go run ./examples/streaming
 package main
@@ -52,27 +56,37 @@ func run(w io.Writer) error {
 			}
 			delta = append(delta, e)
 		}
-		// The delta is pending until the first query refreezes (merging
-		// it into the previous CSR under the bumped epoch).
-		adds, dels := g.PendingDelta()
+		// The delta stays pending: the first query after it pins an
+		// overlay view under the bumped epoch instead of refreezing.
 		for q := 0; q < 64; q++ {
 			if eng.Exists(rng.Intn(n), delta[q%len(delta)].To) {
 				found++
 			}
 		}
 		st := eng.Stats()
-		fmt.Fprintf(w, "round %2d: epoch=%-3d delta=(%d adds, %d dels) tables hit/miss=%d/%d results hit/miss=%d/%d\n",
-			round, st.Epoch, adds, dels,
+		fmt.Fprintf(w, "round %2d: epoch=%-3d delta=(%d adds, %d dels) reads(overlay/pass)=%d/%d tables hit/miss=%d/%d results hit/miss=%d/%d\n",
+			round, st.Epoch, st.PendingAdds, st.PendingRemoves,
+			st.OverlayReads, st.PassThroughReads,
 			st.Tables.Hits, st.Tables.Misses, st.Results.Hits, st.Results.Misses)
 	}
+
+	// Background compaction's job, done inline here: merge the pending
+	// delta into a flat CSR without moving the epoch, so the caches stay
+	// warm and subsequent queries drop back to pass-through reads.
+	compacted := eng.Compact()
 
 	st := eng.Stats()
 	full, inc := g.FreezeStats()
 	fmt.Fprintf(w, "served %d queries, %d found\n", st.Queries, found)
-	fmt.Fprintf(w, "freezes: %d full (the initial build), %d incremental (one per mutated round)\n", full, inc)
+	fmt.Fprintf(w, "reads: %d through overlay views, %d pass-through\n", st.OverlayReads, st.PassThroughReads)
+	fmt.Fprintf(w, "freezes: %d full (the initial build), %d incremental; compacted=%v, delta now (%d,%d)\n",
+		full, inc, compacted, st.PendingAdds, st.PendingRemoves)
 	fmt.Fprintf(w, "snapshot rebuilds observed by the engine: %d\n", st.SnapshotRebuilds)
-	if inc == 0 {
-		return fmt.Errorf("streaming loop never took the incremental freeze path")
+	if st.OverlayReads == 0 {
+		return fmt.Errorf("streaming loop never served a query through an overlay view")
+	}
+	if !compacted || st.PendingAdds+st.PendingRemoves != 0 {
+		return fmt.Errorf("final compaction did not drain the delta")
 	}
 	return nil
 }

@@ -74,12 +74,15 @@ func (g *Graph) Freeze() *CSR {
 			g.csrBase = g.csr
 		}
 		g.addBuf, g.delBuf = nil, nil
+		g.deltaNewLabel = false
+		g.view = nil // an overlay view over the old base is superseded
 	} else if g.shardCount > 0 && g.sharded == nil {
 		// Sharding was configured (or reconfigured) after the CSR was
 		// already frozen: partition the existing snapshot now, so that
 		// once a warmed graph is shared across goroutines every
 		// Freeze/FreezeSharded call is read-only.
 		g.freezeSharded(false)
+		g.view = nil // a cached view would miss the new partition
 	}
 	return g.csr
 }

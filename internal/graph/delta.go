@@ -1,8 +1,9 @@
 package graph
 
 import (
+	"cmp"
+	"math"
 	"slices"
-	"sort"
 )
 
 // This file implements the incremental freeze path. Mutating a frozen
@@ -50,6 +51,7 @@ func (g *Graph) SetIncrementalFreeze(on bool) {
 	if !on {
 		g.csrBase = nil
 		g.addBuf, g.delBuf = nil, nil
+		g.deltaNewLabel = false
 	}
 }
 
@@ -127,10 +129,44 @@ type deltaEntry struct {
 
 // deltaSide projects the edge set onto one CSR side, sorted by
 // (bucket, val) so the merge can walk touched buckets in order.
+//
+// Whenever every bucket index fits in 32 bits — any graph short of
+// row·label counts in the billions — (bucket, val) is packed into one
+// uint64 and sorted as a plain ordered slice: the same pdqsort without
+// a function call per comparison, which halves the cost of pinning an
+// overlay view on streaming workloads. The packing preserves the
+// (bucket, val) order because both halves are non-negative.
 func deltaSide(edges map[Edge]struct{}, c *CSR, out bool) []deltaEntry {
 	if len(edges) == 0 {
 		return nil
 	}
+	L := int64(len(c.labels))
+	packed := make([]uint64, 0, len(edges))
+	for e := range edges {
+		lid := int64(c.labelID[e.Label])
+		var b int64
+		var v int32
+		if out {
+			b, v = int64(e.From)*L+lid, int32(e.To)
+		} else {
+			b, v = int64(e.To)*L+lid, int32(e.From)
+		}
+		if b > math.MaxUint32 {
+			return deltaSideWide(edges, c, out)
+		}
+		packed = append(packed, uint64(b)<<32|uint64(uint32(v)))
+	}
+	slices.Sort(packed)
+	es := make([]deltaEntry, len(packed))
+	for i, p := range packed {
+		es[i] = deltaEntry{bucket: int64(p >> 32), val: int32(uint32(p))}
+	}
+	return es
+}
+
+// deltaSideWide is the unpacked fallback for bucket indexes past 32
+// bits.
+func deltaSideWide(edges map[Edge]struct{}, c *CSR, out bool) []deltaEntry {
 	L := int64(len(c.labels))
 	es := make([]deltaEntry, 0, len(edges))
 	for e := range edges {
@@ -141,11 +177,11 @@ func deltaSide(edges map[Edge]struct{}, c *CSR, out bool) []deltaEntry {
 			es = append(es, deltaEntry{bucket: int64(e.To)*L + lid, val: int32(e.From)})
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].bucket != es[j].bucket {
-			return es[i].bucket < es[j].bucket
+	slices.SortFunc(es, func(a, b deltaEntry) int {
+		if a.bucket != b.bucket {
+			return cmp.Compare(a.bucket, b.bucket)
 		}
-		return es[i].val < es[j].val
+		return cmp.Compare(a.val, b.val)
 	})
 	return es
 }

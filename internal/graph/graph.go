@@ -62,6 +62,7 @@ type Graph struct {
 	csrBase       *CSR
 	addBuf        map[Edge]struct{}
 	delBuf        map[Edge]struct{}
+	deltaNewLabel bool // some buffered add carries a label absent from csrBase
 	incDisabled   bool
 	singleHolder  bool
 	fullBuilds    atomic.Uint64
@@ -73,6 +74,12 @@ type Graph struct {
 	shardCount  int
 	sharded     *ShardedCSR
 	shardedBase *ShardedCSR
+
+	// view is the pinned read snapshot of the current epoch (view.go),
+	// built lazily by PinView and dropped whenever it could go stale: on
+	// mutation, on a Freeze that rebuilt or re-partitioned, and on
+	// SetShards.
+	view *View
 
 	// epoch counts mutations (see Epoch). It is atomic so long-lived
 	// engines may poll it for staleness without synchronizing with the
@@ -93,6 +100,7 @@ func (g *Graph) invalidate() {
 	g.alphaValid = false
 	g.csr = nil
 	g.sharded = nil
+	g.view = nil
 	g.epoch.Add(1)
 }
 
@@ -184,6 +192,12 @@ func (g *Graph) AddEdge(from int, label byte, to int) {
 				g.addBuf = make(map[Edge]struct{})
 			}
 			g.addBuf[e] = struct{}{}
+			if g.csrBase.labelID[label] < 0 {
+				// Sticky until the next freeze resets the delta: pinning
+				// an overlay view checks this flag instead of rescanning
+				// the whole add buffer for out-of-alphabet labels.
+				g.deltaNewLabel = true
+			}
 		}
 	}
 }
@@ -211,6 +225,10 @@ func (g *Graph) RemoveEdge(from int, label byte, to int) bool {
 		}
 	}
 	if oi < 0 {
+		// Absent edge: bail out before the delta bookkeeping below, so a
+		// removal that cannot cancel anything never records a tombstone —
+		// delBuf stays a subset of the base (the merge and overlay paths
+		// rely on that invariant) and cannot accumulate dead entries.
 		return false
 	}
 	g.invalidate()

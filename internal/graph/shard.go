@@ -147,6 +147,7 @@ func (g *Graph) SetShards(k int) {
 	g.shardCount = k
 	g.sharded = nil
 	g.shardedBase = nil
+	g.view = nil
 }
 
 // ShardCount returns the configured partition size (0 = unsharded).

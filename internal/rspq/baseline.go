@@ -39,15 +39,15 @@ func (b *bsearch) dfs(v, q, used int) bool {
 	if b.limit >= 0 && used >= b.limit {
 		return false
 	}
-	L := b.p.csr.NumLabels()
+	L := b.p.vw.NumLabels()
 	for lid := 0; lid < L; lid++ {
 		di := b.p.lmap[lid]
 		if di < 0 {
 			continue
 		}
 		t := b.d.StepIndex(q, int(di))
-		label := b.p.csr.Label(lid)
-		for _, to32 := range b.p.csr.OutWithID(v, lid) {
+		label := b.p.vw.Label(lid)
+		for _, to32 := range b.p.vw.OutWithID(v, lid) {
 			to := int(to32)
 			if b.a.seen.has(to) {
 				continue

@@ -132,6 +132,11 @@ func (bs *BatchSolver) run(pairs []Pair, out []Result, found []bool) {
 	}
 
 	algo := bs.s.ChooseAlgorithm(bs.g)
+	// Pin the snapshot view once, on this goroutine, before fanning out:
+	// the workers' makeProduct/acquireSeqSearcher calls then all hit the
+	// cached view, so the first batch after an (externally synchronized)
+	// mutation never races on the lazy pin.
+	vw := bs.g.PinView()
 	workers := int(bs.workers.Load())
 	if workers > len(groups) {
 		workers = len(groups)
@@ -139,7 +144,7 @@ func (bs *BatchSolver) run(pairs []Pair, out []Result, found []bool) {
 	if workers <= 1 {
 		a := getArena()
 		for gi := range groups {
-			bs.solveGroup(algo, &groups[gi], out, found, a)
+			bs.solveGroup(vw, algo, &groups[gi], out, found, a)
 		}
 		a.release()
 		return
@@ -154,7 +159,7 @@ func (bs *BatchSolver) run(pairs []Pair, out []Result, found []bool) {
 			a := getArena() // one arena per worker, for its whole shift
 			defer a.release()
 			for gi := range work {
-				bs.solveGroup(algo, &groups[gi], out, found, a)
+				bs.solveGroup(vw, algo, &groups[gi], out, found, a)
 			}
 		}()
 	}
@@ -169,33 +174,33 @@ func (bs *BatchSolver) run(pairs []Pair, out []Result, found []bool) {
 // the disjoint out (or found) slots named by grp.idx. Every tier of the
 // dispatcher has a batch entry point below; the finite tier has no
 // y-side table to share and simply loops its per-query search.
-func (bs *BatchSolver) solveGroup(algo Algorithm, grp *batchGroup, out []Result, found []bool, a *arena) {
+func (bs *BatchSolver) solveGroup(vw *graph.View, algo Algorithm, grp *batchGroup, out []Result, found []bool, a *arena) {
 	switch algo {
 	case AlgoFinite:
-		bs.batchFinite(grp, out, found)
+		bs.batchFinite(vw, grp, out, found)
 	case AlgoSubword:
-		bs.batchSubword(grp, out, found, a)
+		bs.batchSubword(vw, grp, out, found, a)
 	case AlgoDAG:
-		bs.batchDAG(grp, out, found, a)
+		bs.batchDAG(vw, grp, out, found, a)
 	case AlgoSummary:
 		if bs.s.Expr == nil {
-			bs.batchBaseline(grp, out, found, a)
+			bs.batchBaseline(vw, grp, out, found, a)
 			return
 		}
-		bs.batchSummary(grp, out, found)
+		bs.batchSummary(vw, grp, out, found)
 	default:
-		bs.batchBaseline(grp, out, found, a)
+		bs.batchBaseline(vw, grp, out, found, a)
 	}
 }
 
 // batchFinite loops the AC⁰-tier word search: it is already
 // target-light (each word probe is a bounded DFS from x), so there is
 // no table worth sharing across the group.
-func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result, found []bool) {
+func (bs *BatchSolver) batchFinite(vw *graph.View, grp *batchGroup, out []Result, found []bool) {
 	for j, x := range grp.xs {
 		var res Result
 		if bs.s.words != nil {
-			res = finiteWithWords(bs.g.Freeze(), bs.s.words, x, grp.y)
+			res = finiteWithWords(vw, bs.s.words, x, grp.y)
 		} else {
 			res = Finite(bs.g, bs.s.Min, x, grp.y)
 		}
@@ -216,8 +221,8 @@ func (bs *BatchSolver) batchFinite(grp *batchGroup, out []Result, found []bool) 
 // language subword-closed, so a walk always yields a simple witness) —
 // against the mark-only coReach sweep, which needs no successor links
 // and runs bit-parallel on ≤64-state DFAs (bitbfs.go).
-func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, found []bool, a *arena) {
-	p := makeProduct(bs.g, bs.s.Min, a)
+func (bs *BatchSolver) batchSubword(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
+	p := makeProductView(vw, bs.s.Min, a)
 	if found != nil {
 		p.coReach(grp.y, a)
 		for j, x := range grp.xs {
@@ -245,8 +250,8 @@ func (bs *BatchSolver) batchSubword(grp *batchGroup, out []Result, found []bool,
 // where every walk is already simple (Theorem 8's collapse to RPQ);
 // existence-only mode is again one O(1) lookup per source, against the
 // mark-only (bit-parallelizable) coReach sweep.
-func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, found []bool, a *arena) {
-	p := makeProduct(bs.g, bs.s.Min, a)
+func (bs *BatchSolver) batchDAG(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
+	p := makeProductView(vw, bs.s.Min, a)
 	if found != nil {
 		p.coReach(grp.y, a)
 		for j, x := range grp.xs {
@@ -267,13 +272,13 @@ func (bs *BatchSolver) batchDAG(grp *batchGroup, out []Result, found []bool, a *
 // seqSearcher is acquired per (sequence, target) and run once per
 // source that is still unanswered. Existence-only mode runs the same
 // search but never materializes witness paths.
-func (bs *BatchSolver) batchSummary(grp *batchGroup, out []Result, found []bool) {
+func (bs *BatchSolver) batchSummary(vw *graph.View, grp *batchGroup, out []Result, found []bool) {
 	remaining := len(grp.xs)
 	for _, seq := range bs.s.Expr.Seqs {
 		if remaining == 0 {
 			return // skip later sequences' co-reachability builds
 		}
-		ss := acquireSeqSearcher(bs.g, seq, grp.y, false)
+		ss := acquireSeqSearcherView(vw, seq, grp.y, false, nil, nil)
 		ss.existsOnly = found != nil
 		for j, x := range grp.xs {
 			if found != nil {
@@ -302,8 +307,8 @@ func (bs *BatchSolver) batchSummary(grp *batchGroup, out []Result, found []bool)
 // table once per target and backtracks per source against it. The
 // existence bit needs the same search (co-reachability alone ignores
 // simplicity), so existence-only mode merely drops the witness.
-func (bs *BatchSolver) batchBaseline(grp *batchGroup, out []Result, found []bool, a *arena) {
-	p := makeProduct(bs.g, bs.s.Min, a)
+func (bs *BatchSolver) batchBaseline(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
+	p := makeProductView(vw, bs.s.Min, a)
 	p.coReach(grp.y, a)
 	for j, x := range grp.xs {
 		res := baselineFrom(&p, a, bs.s.Min, x, grp.y, nil)

@@ -37,18 +37,18 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 	coMask := pk.CoReachMask(accept)
 	vis, cur, nxt := a.growWords(p.n)
 	frontEdges := int64(0)
-	unvisEdges := int64(p.csr.NumEdges())
+	unvisEdges := int64(p.vw.NumEdges())
 	seed := accept & coMask
 	curQ, nxtQ := a.queue[:0], a.queue2[:0]
 	if seed != 0 {
 		vis[y] = seed
 		cur[y] = seed
 		curQ = append(curQ, int32(y))
-		frontEdges += int64(p.csr.InDegree(y))
-		unvisEdges -= int64(p.csr.OutDegree(y))
+		frontEdges += int64(p.vw.InDegree(y))
+		unvisEdges -= int64(p.vw.OutDegree(y))
 	}
-	L := p.csr.NumLabels()
-	bottomUp, dense := false, dirDense(p.csr.NumEdges(), p.n)
+	L := p.vw.NumLabels()
+	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for len(curQ) > 0 {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(curQ)), int64(p.n))
 		frontEdges = 0
@@ -64,12 +64,12 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 					continue
 				}
 				if vis[v] == 0 {
-					unvisEdges -= int64(p.csr.OutDegree(v))
+					unvisEdges -= int64(p.vw.OutDegree(v))
 				}
 				vis[v] |= add
 				nxt[v] = add
 				nxtQ = append(nxtQ, int32(v))
-				frontEdges += int64(p.csr.InDegree(v))
+				frontEdges += int64(p.vw.InDegree(v))
 			}
 		} else {
 			for _, v32 := range curQ {
@@ -84,18 +84,18 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 					if pw == 0 {
 						continue
 					}
-					for _, u32 := range p.csr.InWithID(v, lid) {
+					for _, u32 := range p.vw.InWithID(v, lid) {
 						u := int(u32)
 						add := pw &^ vis[u]
 						if add == 0 {
 							continue
 						}
 						if vis[u] == 0 {
-							unvisEdges -= int64(p.csr.OutDegree(u))
+							unvisEdges -= int64(p.vw.OutDegree(u))
 						}
 						if nxt[u] == 0 {
 							nxtQ = append(nxtQ, u32)
-							frontEdges += int64(p.csr.InDegree(u))
+							frontEdges += int64(p.vw.InDegree(u))
 						}
 						vis[u] |= add
 						nxt[u] |= add
@@ -128,7 +128,7 @@ func (p *product) buPullBits(pk *automaton.Packed, cur []uint64, v int, missing 
 		if di < 0 {
 			continue
 		}
-		for _, u := range p.csr.OutWithID(v, lid) {
+		for _, u := range p.vw.OutWithID(v, lid) {
 			cw := cur[u]
 			if cw == 0 {
 				continue
@@ -188,7 +188,7 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu int64
-	bottomUp, dense := false, dirDense(p.csr.NumEdges(), p.n)
+	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for total > 0 {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(p.n))
 		ex.clearAccum()
@@ -231,7 +231,7 @@ func (p *product) tdExpandBits(ex *exch, K, s int, pk *automaton.Packed, vis, cu
 			if pw == 0 {
 				continue
 			}
-			for _, u32 := range sh.InWithID(v, lid) {
+			for _, u32 := range p.vw.ShardInWithID(sh, v, lid) {
 				if u32 >= lo && u32 < hi {
 					u := int(u32)
 					add := pw &^ vis[u]
@@ -276,7 +276,7 @@ func (p *product) buExpandBits(ex *exch, s int, pk *automaton.Packed, coMask uin
 			if di < 0 {
 				continue
 			}
-			for _, u := range sh.OutWithID(v, lid) {
+			for _, u := range p.vw.ShardOutWithID(sh, v, lid) {
 				cw := cur[u]
 				if cw == 0 {
 					continue

@@ -102,7 +102,7 @@ func colorfulSearch(p *product, d *automaton.DFA, x, y, k int, color []int, colo
 	startSet := 1 << color[x]
 	reach[idx(startSet, x, d.Start)] = true
 
-	L := p.csr.NumLabels()
+	L := p.vw.NumLabels()
 	// Process subsets in increasing popcount order = increasing integer
 	// order works because transitions only add bits.
 	for S := 1; S < (1 << colors); S++ {
@@ -120,8 +120,8 @@ func colorfulSearch(p *product, d *automaton.DFA, x, y, k int, color []int, colo
 						continue
 					}
 					t := d.StepIndex(q, int(di))
-					label := p.csr.Label(lid)
-					for _, to32 := range p.csr.OutWithID(v, lid) {
+					label := p.vw.Label(lid)
+					for _, to32 := range p.vw.OutWithID(v, lid) {
 						to := int(to32)
 						c := color[to]
 						if S&(1<<c) != 0 {

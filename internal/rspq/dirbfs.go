@@ -142,18 +142,18 @@ func (p *product) coReachSeq(y int, a *arena) {
 	a.co.reset(nm)
 	cur, nxt := a.queue[:0], a.queue2[:0]
 	frontEdges := int64(0)
-	unvisEdges := int64(p.m) * int64(p.csr.NumEdges())
+	unvisEdges := int64(p.m) * int64(p.vw.NumEdges())
 	for q := 0; q < p.m; q++ {
 		if p.d.Accept[q] {
 			id := p.id(y, q)
 			a.co.add(id)
 			cur = append(cur, int32(id))
-			frontEdges += int64(p.csr.InDegree(y))
-			unvisEdges -= int64(p.csr.OutDegree(y))
+			frontEdges += int64(p.vw.InDegree(y))
+			unvisEdges -= int64(p.vw.OutDegree(y))
 		}
 	}
-	L := p.csr.NumLabels()
-	bottomUp, dense := false, dirDense(p.csr.NumEdges(), p.n)
+	L := p.vw.NumLabels()
+	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for len(cur) > 0 {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
 		frontEdges = 0
@@ -168,8 +168,8 @@ func (p *product) coReachSeq(y int, a *arena) {
 					}
 					a.co.add(id)
 					nxt = append(nxt, int32(id))
-					frontEdges += int64(p.csr.InDegree(v))
-					unvisEdges -= int64(p.csr.OutDegree(v))
+					frontEdges += int64(p.vw.InDegree(v))
+					unvisEdges -= int64(p.vw.OutDegree(v))
 				}
 			}
 		} else {
@@ -184,15 +184,15 @@ func (p *product) coReachSeq(y int, a *arena) {
 					if len(preds) == 0 {
 						continue
 					}
-					for _, u := range p.csr.InWithID(v, lid) {
+					for _, u := range p.vw.InWithID(v, lid) {
 						base := int(u) * p.m
 						for _, qp := range preds {
 							pid := base + int(qp)
 							if !a.co.has(pid) {
 								a.co.add(pid)
 								nxt = append(nxt, int32(pid))
-								frontEdges += int64(p.csr.InDegree(int(u)))
-								unvisEdges -= int64(p.csr.OutDegree(int(u)))
+								frontEdges += int64(p.vw.InDegree(int(u)))
+								unvisEdges -= int64(p.vw.OutDegree(int(u)))
 							}
 						}
 					}
@@ -214,7 +214,7 @@ func (p *product) buProbeCo(a *arena, v, q, L int) bool {
 			continue
 		}
 		t := p.d.StepIndex(q, int(di))
-		for _, u := range p.csr.OutWithID(v, lid) {
+		for _, u := range p.vw.OutWithID(v, lid) {
 			if a.co.has(int(u)*p.m + t) {
 				return true
 			}
@@ -234,19 +234,19 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 	a.growProduct(nm)
 	cur, nxt := a.queue[:0], a.queue2[:0]
 	frontEdges := int64(0)
-	unvisEdges := int64(p.m) * int64(p.csr.NumEdges())
+	unvisEdges := int64(p.m) * int64(p.vw.NumEdges())
 	for q := 0; q < p.m; q++ {
 		if p.d.Accept[q] {
 			id := p.id(y, q)
 			a.dst.add(id)
 			a.dist[id] = 0
 			cur = append(cur, int32(id))
-			frontEdges += int64(p.csr.InDegree(y))
-			unvisEdges -= int64(p.csr.OutDegree(y))
+			frontEdges += int64(p.vw.InDegree(y))
+			unvisEdges -= int64(p.vw.OutDegree(y))
 		}
 	}
-	L := p.csr.NumLabels()
-	bottomUp, dense := false, dirDense(p.csr.NumEdges(), p.n)
+	L := p.vw.NumLabels()
+	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for d := int32(1); len(cur) > 0; d++ {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
 		frontEdges = 0
@@ -261,8 +261,8 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 					}
 					if p.buProbeGoal(a, v, q, L, d, id) {
 						nxt = append(nxt, int32(id))
-						frontEdges += int64(p.csr.InDegree(v))
-						unvisEdges -= int64(p.csr.OutDegree(v))
+						frontEdges += int64(p.vw.InDegree(v))
+						unvisEdges -= int64(p.vw.OutDegree(v))
 					}
 				}
 			}
@@ -278,8 +278,8 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 					if len(preds) == 0 {
 						continue
 					}
-					label := p.csr.Label(lid)
-					for _, u := range p.csr.InWithID(v, lid) {
+					label := p.vw.Label(lid)
+					for _, u := range p.vw.InWithID(v, lid) {
 						base := int(u) * p.m
 						for _, qp := range preds {
 							pid := base + int(qp)
@@ -289,8 +289,8 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 								a.parent[pid] = id
 								a.plabel[pid] = label
 								nxt = append(nxt, int32(pid))
-								frontEdges += int64(p.csr.InDegree(int(u)))
-								unvisEdges -= int64(p.csr.OutDegree(int(u)))
+								frontEdges += int64(p.vw.InDegree(int(u)))
+								unvisEdges -= int64(p.vw.OutDegree(int(u)))
 							}
 						}
 					}
@@ -312,13 +312,13 @@ func (p *product) buProbeGoal(a *arena, v, q, L int, d int32, id int) bool {
 			continue
 		}
 		t := p.d.StepIndex(q, int(di))
-		for _, u := range p.csr.OutWithID(v, lid) {
+		for _, u := range p.vw.OutWithID(v, lid) {
 			sid := int(u)*p.m + t
 			if a.dst.has(sid) && a.dist[sid] == d-1 {
 				a.dst.add(id)
 				a.dist[id] = d
 				a.parent[id] = int32(sid)
-				a.plabel[id] = p.csr.Label(lid)
+				a.plabel[id] = p.vw.Label(lid)
 				return true
 			}
 		}

@@ -40,6 +40,11 @@ const (
 	DefaultResultBytes = 16 << 20 // 16 MiB of hot results
 )
 
+// DefaultCompactDelta is the default pending-delta watermark (adds +
+// removes) above which NeedsCompaction asks for a background
+// compaction; override via EngineConfig.CompactDelta.
+const DefaultCompactDelta = 4096
+
 // EngineConfig sizes an Engine's cache tiers and worker pool.
 type EngineConfig struct {
 	// TableBytes is the byte budget of the pruning-table cache. Zero
@@ -63,6 +68,12 @@ type EngineConfig struct {
 	// untouched. EngineStats.ShardsAdaptive reports whether the running
 	// partition was chosen adaptively.
 	Shards int
+	// CompactDelta is the pending-delta watermark (edges added plus
+	// edges tombstoned since the last freeze) above which
+	// NeedsCompaction reports true, asking the serving layer to schedule
+	// a background Compact. Zero selects DefaultCompactDelta; a negative
+	// value disables the watermark (NeedsCompaction always false).
+	CompactDelta int
 }
 
 // Adaptive shard sizing (EngineConfig.Shards == 0): graphs below
@@ -116,15 +127,26 @@ type EngineStats struct {
 	// direction each round ran in (dirbfs.go). BitParallelHits counts
 	// backward sweeps served by the packed ≤64-state kernels
 	// (bitbfs.go), sequential and sharded alike.
-	Shards          int         `json:"shards,omitempty"`
-	ShardsAdaptive  bool        `json:"shards_adaptive,omitempty"`
-	ShardEdges      []int       `json:"shard_edges,omitempty"`
-	ExchangeRounds  int64       `json:"exchange_rounds,omitempty"`
-	TopDownRounds   int64       `json:"top_down_rounds,omitempty"`
-	BottomUpRounds  int64       `json:"bottom_up_rounds,omitempty"`
-	BitParallelHits int64       `json:"bit_parallel_hits,omitempty"`
-	Tables          cache.Stats `json:"tables"`
-	Results         cache.Stats `json:"results"`
+	Shards          int   `json:"shards,omitempty"`
+	ShardsAdaptive  bool  `json:"shards_adaptive,omitempty"`
+	ShardEdges      []int `json:"shard_edges,omitempty"`
+	ExchangeRounds  int64 `json:"exchange_rounds,omitempty"`
+	TopDownRounds   int64 `json:"top_down_rounds,omitempty"`
+	BottomUpRounds  int64 `json:"bottom_up_rounds,omitempty"`
+	BitParallelHits int64 `json:"bit_parallel_hits,omitempty"`
+	// MVCC-lite visibility: the graph's pending mutation delta (edges
+	// added / tombstoned since the last freeze), how many queries were
+	// served through an overlay view versus a pass-through snapshot,
+	// and how many background compactions (Engine.Compact) have merged
+	// the delta away. Overlay reads with no freezes in between are the
+	// no-freeze hot path working as intended.
+	PendingAdds      int         `json:"pending_adds"`
+	PendingRemoves   int         `json:"pending_removes"`
+	OverlayReads     int64       `json:"overlay_reads"`
+	PassThroughReads int64       `json:"pass_through_reads"`
+	Compactions      int64       `json:"compactions"`
+	Tables           cache.Stats `json:"tables"`
+	Results          cache.Stats `json:"results"`
 }
 
 // table kinds, part of tableKey so the three tiers share one cache.
@@ -243,23 +265,26 @@ func (t *goalTable) walkFrom(x, start, m int) *graph.Path {
 	return &graph.Path{Vertices: vs, Labels: ls}
 }
 
-// engineSnap is one consistent frozen view of the graph: the CSR (plus
-// its partition when sharding is configured), the epoch it was built
-// under, and the dispatch verdict. Snapshots are immutable; a mutation
-// makes the next query build a fresh one.
+// engineSnap is one consistent pinned view of the graph: the snapshot
+// view (base CSR plus any pending-delta overlay, carrying its partition
+// when sharding is configured), the epoch it was pinned under, and the
+// dispatch verdict. Snapshots are immutable; a mutation makes the next
+// query pin a fresh one — WITHOUT freezing, when the delta is small
+// enough for an overlay (graph.View), so mutations never stall reads on
+// a refreeze and never invalidate in-flight queries (which keep their
+// own snap).
 type engineSnap struct {
-	csr   *graph.CSR
-	sc    *graph.ShardedCSR // nil when unsharded
+	vw    *graph.View
 	epoch uint64
 	algo  Algorithm
 }
 
 // shards returns the partition size for cache keys (0 = unsharded).
 func (s *engineSnap) shards() uint16 {
-	if s.sc == nil {
-		return 0
+	if sc := s.vw.Sharded(); sc != nil {
+		return uint16(sc.NumShards())
 	}
-	return uint16(s.sc.NumShards())
+	return 0
 }
 
 // Engine is a long-lived serving engine for one (language, graph)
@@ -278,12 +303,19 @@ type Engine struct {
 	tables  *cache.Cache[tableKey, any] // nil when the tier is disabled
 	results *cache.Cache[resultKey, Result]
 
-	workers    atomic.Int32
-	queries    atomic.Int64
-	batches    atomic.Int64
-	batchPairs atomic.Int64
-	rebuilds   atomic.Int64
-	counts     exchCounters // per-direction rounds + bit-parallel hits
+	workers     atomic.Int32
+	queries     atomic.Int64
+	batches     atomic.Int64
+	batchPairs  atomic.Int64
+	rebuilds    atomic.Int64
+	overlay     atomic.Int64 // queries/batches served through an overlay view
+	passThrough atomic.Int64 // ... through a delta-free pass-through view
+	compactions atomic.Int64 // background delta merges via Compact
+	counts      exchCounters // per-direction rounds + bit-parallel hits
+
+	// compactDelta is the NeedsCompaction watermark resolved from
+	// EngineConfig.CompactDelta (-1 = disabled).
+	compactDelta int
 
 	// adaptive records that NewEngine chose the shard count itself
 	// (EngineConfig.Shards == 0 on an unconfigured graph); set once at
@@ -324,6 +356,14 @@ func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	e.workers.Store(int32(w))
+	switch {
+	case cfg.CompactDelta > 0:
+		e.compactDelta = cfg.CompactDelta
+	case cfg.CompactDelta == 0:
+		e.compactDelta = DefaultCompactDelta
+	default:
+		e.compactDelta = -1
+	}
 	e.snapshot()
 	return e
 }
@@ -346,19 +386,22 @@ func (e *Engine) Solver() *Solver { return e.s }
 // graph) rather than serving a caller-chosen one.
 func (e *Engine) ShardsAdaptive() bool { return e.adaptive }
 
-// snapshot returns the current consistent frozen view, rebuilding it
+// snapshot returns the current consistent pinned view, rebuilding it
 // when the graph's epoch has moved past the snapshot's. Cached tables
 // and results need no purging — their keys carry the old epoch and
 // simply stop matching.
 //
-// This is the cheap-refreeze fast path of streaming workloads: the
-// rebuild goes through graph.Snapshot, whose Freeze merges the pending
-// mutation delta into the previous CSR in time proportional to the
-// delta (graph/delta.go) instead of re-sorting all E edges, and whose
-// acyclicity verdict is revalidated only when the delta could actually
-// have flipped it. A mutation between queries therefore costs roughly
-// the delta size, not O(V+E) — EngineStats.IncrementalFreezes counts
-// how often this path was taken.
+// This is the no-freeze read path of streaming workloads: the rebuild
+// goes through graph.SnapshotView, which pins a small pending delta as
+// a sorted read overlay on the last frozen base (graph.View) instead of
+// refreezing. Mutations therefore cost O(1) at mutation time and
+// roughly O(delta) at the next snapshot — never a stop-the-world
+// re-sort — and in-flight queries are untouched: they hold their own
+// snap, which stays valid because views are immutable. Merging the
+// delta back into a flat CSR is deferred to Compact (a background
+// concern, see NeedsCompaction) or to a natural freeze when the delta
+// outgrows the overlay regime. EngineStats.OverlayReads versus
+// .PassThroughReads shows which regime queries are actually in.
 func (e *Engine) snapshot() *engineSnap {
 	if s := e.snap.Load(); s != nil && s.epoch == e.g.Epoch() {
 		return s
@@ -368,18 +411,55 @@ func (e *Engine) snapshot() *engineSnap {
 	if s := e.snap.Load(); s != nil && s.epoch == e.g.Epoch() {
 		return s
 	}
-	csr, acyclic, epoch := e.g.Snapshot()
-	s := &engineSnap{csr: csr, sc: e.g.FreezeSharded(), epoch: epoch, algo: e.s.algorithmFor(acyclic)}
+	vw, acyclic, epoch := e.g.SnapshotView()
+	s := &engineSnap{vw: vw, epoch: epoch, algo: e.s.algorithmFor(acyclic)}
 	e.snap.Store(s)
 	e.rebuilds.Add(1)
 	return s
 }
 
+// Compact merges the graph's pending mutation delta into a flat CSR and
+// re-pins the engine's snapshot over the merged base, off the query
+// path. The epoch does not move — an overlay view and the merged CSR
+// present identical adjacency, so cached tables and results keyed by
+// the current epoch stay valid and in-flight queries keep their pinned
+// (now superseded, still immutable) view. It reports whether any
+// compaction work was done.
+//
+// Like mutations, Compact must be externally synchronized with writers:
+// callers serialize it against AddEdge/RemoveEdge (rspqd runs it from
+// the compaction goroutine under the same write lock as mutations).
+// Concurrent queries need no synchronization.
+func (e *Engine) Compact() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	adds, removes := e.g.PendingDelta()
+	if adds+removes == 0 {
+		return false
+	}
+	e.g.Freeze() // merge the delta into the base (incremental when it qualifies)
+	vw, acyclic, epoch := e.g.SnapshotView()
+	e.snap.Store(&engineSnap{vw: vw, epoch: epoch, algo: e.s.algorithmFor(acyclic)})
+	e.compactions.Add(1)
+	return true
+}
+
+// NeedsCompaction reports whether the pending delta has crossed the
+// configured watermark (EngineConfig.CompactDelta), i.e. whether a
+// background Compact is worth scheduling. Reads the live delta size, so
+// call it under the same reader-side synchronization as queries.
+func (e *Engine) NeedsCompaction() bool {
+	if e.compactDelta < 0 {
+		return false
+	}
+	adds, removes := e.g.PendingDelta()
+	return adds+removes > e.compactDelta
+}
+
 // product builds the product view of a snapshot, carrying the partition
 // and the engine's direction/bit-hit counters into the kernels.
 func (e *Engine) product(snap *engineSnap, a *arena) product {
-	p := makeProductCSR(snap.csr, e.s.Min, a)
-	p.sc = snap.sc
+	p := makeProductView(snap.vw, e.s.Min, a)
 	p.counts = &e.counts
 	return p
 }
@@ -395,6 +475,10 @@ func (e *Engine) Stats() EngineStats {
 		SnapshotRebuilds: e.rebuilds.Load(),
 	}
 	st.FullFreezes, st.IncrementalFreezes = e.g.FreezeStats()
+	st.PendingAdds, st.PendingRemoves = e.g.PendingDelta()
+	st.OverlayReads = e.overlay.Load()
+	st.PassThroughReads = e.passThrough.Load()
+	st.Compactions = e.compactions.Load()
 	st.TopDownRounds = e.counts.topDown.Load()
 	st.BottomUpRounds = e.counts.bottomUp.Load()
 	st.BitParallelHits = e.counts.bitHits.Load()
@@ -402,12 +486,12 @@ func (e *Engine) Stats() EngineStats {
 	if snap != nil {
 		st.Epoch = snap.epoch
 		st.Algorithm = snap.algo.String()
-		if snap.sc != nil {
-			st.Shards = snap.sc.NumShards()
+		if sc := snap.vw.Sharded(); sc != nil {
+			st.Shards = sc.NumShards()
 			st.ShardsAdaptive = e.adaptive
-			st.ShardEdges = make([]int, snap.sc.NumShards())
+			st.ShardEdges = make([]int, sc.NumShards())
 			for s := range st.ShardEdges {
-				st.ShardEdges[s] = snap.sc.ShardEdges(s)
+				st.ShardEdges[s] = sc.ShardEdges(s)
 			}
 		}
 	}
@@ -437,7 +521,12 @@ func (e *Engine) Exists(x, y int) bool {
 func (e *Engine) solve(x, y int, existsOnly bool) Result {
 	e.queries.Add(1)
 	snap := e.snapshot()
-	if !validPair(snap.csr.NumVertices(), x, y) {
+	if snap.vw.Overlay() {
+		e.overlay.Add(1)
+	} else {
+		e.passThrough.Add(1)
+	}
+	if !validPair(snap.vw.NumVertices(), x, y) {
 		return Result{}
 	}
 	if res, ok := e.cachedResult(snap.epoch, x, y, existsOnly); ok {
@@ -496,9 +585,9 @@ func (e *Engine) solveOne(snap *engineSnap, a *arena, x, y int, existsOnly bool)
 	case AlgoFinite:
 		// No y-side table to share: each word probe is a bounded DFS.
 		if e.s.words != nil {
-			return finiteWithWords(snap.csr, e.s.words, x, y)
+			return finiteWithWords(snap.vw, e.s.words, x, y)
 		}
-		return finiteWithWords(snap.csr, finiteWords(e.s.Min), x, y)
+		return finiteWithWords(snap.vw, finiteWords(e.s.Min), x, y)
 	case AlgoSubword, AlgoDAG:
 		if existsOnly {
 			return e.existsGoal(snap, a, x, y)
@@ -540,7 +629,7 @@ func (e *Engine) acquireSummary(snap *engineSnap, seq *psitr.Sequence, si, y int
 			ext = v.(*coTable)
 		}
 	}
-	ss := acquireSeqSearcherCSR(snap.csr, snap.sc, seq, y, false, ext, &e.counts)
+	ss := acquireSeqSearcherView(snap.vw, seq, y, false, ext, &e.counts)
 	if ext == nil && e.tables != nil && e.tables.Retainable(coTableCost(ss.n*ss.plan.posCount)) {
 		t := ss.exportCoReach()
 		e.tables.Put(key, t, t.cost())
@@ -690,7 +779,12 @@ func (e *Engine) batch(pairs []Pair, out []Result, found []bool) {
 	e.batches.Add(1)
 	e.batchPairs.Add(int64(len(pairs)))
 	snap := e.snapshot()
-	n := snap.csr.NumVertices()
+	if snap.vw.Overlay() {
+		e.overlay.Add(1)
+	} else {
+		e.passThrough.Add(1)
+	}
+	n := snap.vw.NumVertices()
 	existsOnly := found != nil
 
 	var groups []batchGroup
@@ -772,7 +866,7 @@ func (e *Engine) solveGroup(snap *engineSnap, a *arena, grp *batchGroup, out []R
 			words = finiteWords(e.s.Min)
 		}
 		for j, x := range grp.xs {
-			record(j, finiteWithWords(snap.csr, words, x, grp.y))
+			record(j, finiteWithWords(snap.vw, words, x, grp.y))
 		}
 	case AlgoSubword, AlgoDAG:
 		if existsOnly {

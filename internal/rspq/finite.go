@@ -25,7 +25,7 @@ func Finite(g *graph.Graph, d *automaton.DFA, x, y int) Result {
 		// languages here.
 		return Baseline(g, d, x, y, nil)
 	}
-	return finiteWithWords(g.Freeze(), finiteWords(min), x, y)
+	return finiteWithWords(g.PinView(), finiteWords(min), x, y)
 }
 
 // finiteWords lists the words of a finite language recognized by the
@@ -44,10 +44,10 @@ func finiteWords(min *automaton.DFA) []string {
 }
 
 // finiteWithWords runs the word-by-word search over a precomputed,
-// (length, lex)-sorted word list against a frozen CSR snapshot.
-func finiteWithWords(csr *graph.CSR, words []string, x, y int) Result {
+// (length, lex)-sorted word list against a pinned snapshot view.
+func finiteWithWords(vw *graph.View, words []string, x, y int) Result {
 	for _, w := range words {
-		if p := wordPath(csr, w, x, y); p != nil {
+		if p := wordPath(vw, w, x, y); p != nil {
 			return Result{Found: true, Path: p}
 		}
 	}
@@ -57,12 +57,12 @@ func finiteWithWords(csr *graph.CSR, words []string, x, y int) Result {
 // wsearch is the scratch of one word-constrained simple-path search; a
 // struct (not a closure) so recursion does not allocate.
 type wsearch struct {
-	csr *graph.CSR
-	a   *arena
-	w   string
-	y   int
-	vs  []int
-	ls  []byte
+	vw *graph.View
+	a  *arena
+	w  string
+	y  int
+	vs []int
+	ls []byte
 }
 
 func (s *wsearch) dfs(v, i int) bool {
@@ -70,7 +70,7 @@ func (s *wsearch) dfs(v, i int) bool {
 		return v == s.y
 	}
 	label := s.w[i]
-	for _, to32 := range s.csr.OutWith(v, label) {
+	for _, to32 := range s.vw.OutWith(v, label) {
 		to := int(to32)
 		if s.a.seen.has(to) {
 			continue
@@ -93,9 +93,9 @@ func (s *wsearch) dfs(v, i int) bool {
 }
 
 // wordPath finds a simple path from x to y spelling exactly w, by
-// depth-first search over the |w| positions against the CSR's
+// depth-first search over the |w| positions against the view's
 // label-bucketed adjacency.
-func wordPath(csr *graph.CSR, w string, x, y int) *graph.Path {
+func wordPath(vw *graph.View, w string, x, y int) *graph.Path {
 	if x == y {
 		if w == "" {
 			return graph.PathAt(x)
@@ -107,8 +107,8 @@ func wordPath(csr *graph.CSR, w string, x, y int) *graph.Path {
 	}
 	a := getArena()
 	defer a.release()
-	s := wsearch{csr: csr, a: a, w: w, y: y}
-	a.seen.reset(s.csr.NumVertices())
+	s := wsearch{vw: vw, a: a, w: w, y: y}
+	a.seen.reset(s.vw.NumVertices())
 	a.seen.add(x)
 	s.vs = append(a.vs[:0], x)
 	s.ls = a.ls[:0]

@@ -57,19 +57,21 @@ func VerifyWitness(res Result, g *graph.Graph, d *automaton.DFA, x, y int) bool 
 }
 
 // product indexes (vertex, state) pairs of the G×A_L product graph. It
-// works on the frozen CSR snapshot of the graph and the DFA's
+// works on a pinned view of the graph — the frozen CSR snapshot plus
+// any small pending-mutation overlay (graph.View) — and the DFA's
 // reverse-transition index, so forward steps touch contiguous
-// label-bucketed edge slices and backward steps enumerate exact
-// predecessor states instead of scanning all of them.
+// label-bucketed edge slices (overlay buckets substitute transparently)
+// and backward steps enumerate exact predecessor states instead of
+// scanning all of them.
 //
-// When the graph carries a partitioned snapshot (graph.SetShards), sc
+// When the view carries a partitioned snapshot (graph.SetShards), sc
 // is set and the backward kernels (coReach, distToGoal) run as a
 // bulk-synchronous frontier exchange over the shards instead of a
 // single queue-driven sweep — see shardbfs.go. counts, when non-nil,
 // accumulates the per-direction round and bit-parallel hit counts
 // (Engine wires its stats counters here).
 type product struct {
-	csr  *graph.CSR
+	vw   *graph.View
 	d    *automaton.DFA
 	rev  *automaton.RevIndex
 	n    int     // vertices
@@ -81,24 +83,22 @@ type product struct {
 }
 
 func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {
-	p := makeProductCSR(g.Freeze(), d, a)
-	p.sc = g.FreezeSharded()
-	return p
+	return makeProductView(g.PinView(), d, a)
 }
 
-// makeProductCSR builds the product directly over a frozen CSR
-// snapshot, so a long-lived engine can keep answering against the
-// snapshot it validated rather than re-freezing the live graph.
-func makeProductCSR(csr *graph.CSR, d *automaton.DFA, a *arena) product {
-	L := csr.NumLabels()
+// makeProductView builds the product directly over a pinned view, so a
+// long-lived engine can keep answering against the snapshot it
+// validated rather than re-pinning the live graph.
+func makeProductView(vw *graph.View, d *automaton.DFA, a *arena) product {
+	L := vw.NumLabels()
 	if cap(a.lmap) < L {
 		a.lmap = make([]int16, L)
 	}
 	a.lmap = a.lmap[:L]
 	for lid := 0; lid < L; lid++ {
-		a.lmap[lid] = int16(d.Alphabet.Index(csr.Label(lid)))
+		a.lmap[lid] = int16(d.Alphabet.Index(vw.Label(lid)))
 	}
-	return product{csr: csr, d: d, rev: d.Rev(), n: csr.NumVertices(), m: d.NumStates, lmap: a.lmap}
+	return product{vw: vw, d: d, rev: d.Rev(), n: vw.NumVertices(), m: d.NumStates, lmap: a.lmap, sc: vw.Sharded()}
 }
 
 func (p *product) id(v, q int) int { return v*p.m + q }
@@ -241,7 +241,7 @@ func walkSearch(g *graph.Graph, d *automaton.DFA, x, y int, a *arena) int {
 	queue := a.queue[:0]
 	queue = append(queue, int32(start))
 	goal := -1
-	L := p.csr.NumLabels()
+	L := p.vw.NumLabels()
 	for at := 0; at < len(queue) && goal < 0; at++ {
 		id := int(queue[at])
 		v, q := id/p.m, id%p.m
@@ -255,8 +255,8 @@ func walkSearch(g *graph.Graph, d *automaton.DFA, x, y int, a *arena) int {
 				continue
 			}
 			t := d.StepIndex(q, int(di))
-			label := p.csr.Label(lid)
-			for _, to := range p.csr.OutWithID(v, lid) {
+			label := p.vw.Label(lid)
+			for _, to := range p.vw.OutWithID(v, lid) {
 				nid := int(to)*p.m + t
 				if !a.seen.has(nid) {
 					a.seen.add(nid)

@@ -305,7 +305,7 @@ func (p *product) distToGoalSharded(y int, a *arena) {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu int64
-	bottomUp, dense := false, dirDense(p.csr.NumEdges(), p.n)
+	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for d := int32(1); total > 0; d++ {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(nm))
 		ex.clearAccum()
@@ -348,7 +348,7 @@ func (p *product) tdExpandGoal(ex *exch, K, s int, a *arena) {
 				continue
 			}
 			label := sc.Label(lid)
-			for _, u := range sh.InWithID(v, lid) {
+			for _, u := range p.vw.ShardInWithID(sh, v, lid) {
 				base := int(u) * p.m
 				if u >= lo && u < hi { // own rows: settle immediately
 					for _, qp := range preds {
@@ -435,7 +435,7 @@ func (p *product) buProbeGoalExch(ex *exch, sh *graph.CSRShard, a *arena, v, q, 
 			continue
 		}
 		t := p.d.StepIndex(q, int(di))
-		for _, u := range sh.OutWithID(v, lid) {
+		for _, u := range p.vw.ShardOutWithID(sh, v, lid) {
 			sid := int(u)*p.m + t
 			if ex.fb.has(sid) {
 				a.dst.add(id)
@@ -478,7 +478,7 @@ func (p *product) coReachSharded(y int, a *arena) {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu int64
-	bottomUp, dense := false, dirDense(p.csr.NumEdges(), p.n)
+	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for total > 0 {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(nm))
 		ex.clearAccum()
@@ -518,7 +518,7 @@ func (p *product) tdExpandCo(ex *exch, K, s int, a *arena) {
 			if len(preds) == 0 {
 				continue
 			}
-			for _, u := range sh.InWithID(v, lid) {
+			for _, u := range p.vw.ShardInWithID(sh, v, lid) {
 				base := int(u) * p.m
 				if u >= lo && u < hi {
 					for _, qp := range preds {
@@ -574,7 +574,7 @@ func (p *product) buProbeCoExch(ex *exch, sh *graph.CSRShard, v, q, L int) bool 
 			continue
 		}
 		t := p.d.StepIndex(q, int(di))
-		for _, u := range sh.OutWithID(v, lid) {
+		for _, u := range p.vw.ShardOutWithID(sh, v, lid) {
 			if ex.fb.has(int(u)*p.m + t) {
 				return true
 			}
@@ -612,7 +612,7 @@ func (ss *seqSearcher) computeCoReachSharded() {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu int64
-	bottomUp, dense := false, dirDense(ss.csr.NumEdges(), ss.n)
+	bottomUp, dense := false, dirDense(ss.vw.NumEdges(), ss.n)
 	for total > 0 {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(ss.n*pc))
 		ex.clearAccum()
@@ -655,7 +655,7 @@ func (ss *seqSearcher) tdExpandSeq(ex *exch, K, s int) {
 			if lid < 0 {
 				continue
 			}
-			for _, u := range sh.InWithID(v, lid) {
+			for _, u := range ss.vw.ShardInWithID(sh, v, lid) {
 				pid := int(u)*pc + int(arc.from)
 				if u >= lo && u < hi {
 					if !ss.coreach.has(pid) {
@@ -705,7 +705,7 @@ func (ss *seqSearcher) buProbeSeq(ex *exch, sh *graph.CSRShard, sc *graph.Sharde
 		if lid < 0 {
 			continue
 		}
-		for _, u := range sh.OutWithID(v, lid) {
+		for _, u := range ss.vw.ShardOutWithID(sh, v, lid) {
 			if ex.fb.has(int(u)*pc + int(arc.to)) {
 				return true
 			}

@@ -122,22 +122,32 @@ func NewSolverFromRegex(r *automaton.Regex) (*Solver, error) {
 }
 
 // Warm precomputes every graph-side index a query on g would build
-// lazily (the CSR snapshot and dispatch caches). Calling Warm once
-// after graph construction makes subsequent concurrent queries on g
-// safe and allocation-free at steady state; it is optional for
+// lazily (the pinned snapshot view and dispatch caches). Calling Warm
+// once after graph construction makes subsequent concurrent queries on
+// g safe and allocation-free at steady state; it is optional for
 // single-goroutine use, where the first query warms the caches.
 //
-// Warm goes through Graph.Snapshot, which retries until the CSR, the
-// dispatch caches and the mutation epoch all belong to one generation:
-// a mutation interleaving with the warming can therefore never leave a
-// stale CSR paired with a newer epoch (or vice versa), which matters to
-// anything — Engine above all — that keys cached tables by epoch.
+// Warm goes through Graph.SnapshotView, which retries until the view,
+// the dispatch caches and the mutation epoch all belong to one
+// generation: a mutation interleaving with the warming can therefore
+// never leave a stale snapshot paired with a newer epoch (or vice
+// versa), which matters to anything — Engine above all — that keys
+// cached tables by epoch. Warming a mutated graph does NOT force a
+// refreeze: small pending deltas are pinned as a read overlay on the
+// last base (graph.View), so queries keep flowing while compaction is
+// deferred.
 func (s *Solver) Warm(g *graph.Graph) {
-	g.Snapshot()
+	g.SnapshotView()
 }
 
-// ChooseAlgorithm reports how Solve would answer a query on g.
+// ChooseAlgorithm reports how Solve would answer a query on g. Finite
+// languages dispatch without consulting acyclicity: the verdict cannot
+// change the tier, and computing it on a freshly mutated graph costs an
+// O(V+E) recheck that streaming point queries should not pay.
 func (s *Solver) ChooseAlgorithm(g *graph.Graph) Algorithm {
+	if s.Classification.Finite {
+		return AlgoFinite
+	}
 	return s.algorithmFor(g.IsAcyclic())
 }
 
@@ -182,7 +192,7 @@ func (s *Solver) SolveWith(g *graph.Graph, x, y int, algo Algorithm) Result {
 	switch algo {
 	case AlgoFinite:
 		if s.words != nil {
-			return finiteWithWords(g.Freeze(), s.words, x, y)
+			return finiteWithWords(g.PinView(), s.words, x, y)
 		}
 		return Finite(g, s.Min, x, y)
 	case AlgoSubword:
@@ -221,7 +231,7 @@ func (s *Solver) Shortest(g *graph.Graph, x, y int) Result {
 	switch {
 	case s.Classification.Finite:
 		if s.words != nil {
-			return finiteWithWords(g.Freeze(), s.words, x, y) // tries words in increasing length
+			return finiteWithWords(g.PinView(), s.words, x, y) // tries words in increasing length
 		}
 		return Finite(g, s.Min, x, y)
 	case g.IsAcyclic():

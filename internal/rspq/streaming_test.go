@@ -40,7 +40,7 @@ func TestEngineObservesRemoveEdge(t *testing.T) {
 // the race detector: one mutator applies add/remove deltas under a
 // write lock while query workers read through the engine under read
 // locks — the locking discipline of cmd/rspqd. The -race run checks
-// that the delta overlay, the incremental merge and the freeze
+// that the delta overlay, the pinned snapshot views and the engine
 // counters introduce no unsynchronized state; the assertions check
 // engine answers always match a cold solve of the same generation.
 func TestEngineMutateWhileQueryRace(t *testing.T) {
@@ -105,9 +105,48 @@ func TestEngineMutateWhileQueryRace(t *testing.T) {
 	close(stop)
 	<-mutatorDone
 
-	// The steady-state refreezes must have been delta merges: only the
-	// initial build (and rare alphabet flaps) may rebuild from scratch.
-	if _, inc := g.FreezeStats(); inc == 0 {
-		t.Fatal("streaming workload never took the incremental freeze path")
+	// Steady-state queries over small deltas must be served by pinned
+	// overlay views, never by stop-the-world refreezes. Drain whatever
+	// delta the mutator left, then a single-edge delta is guaranteed to
+	// be in the overlay regime.
+	g.RemoveEdge(0, 'a', n-1) // ensure absent so the AddEdge below is a real delta
+	e.Compact()               // drain the mutator's leftover delta
+	c0 := e.Stats().Compactions
+	g.AddEdge(0, 'a', n-1)
+	res := e.Solve(0, n-1)
+	if !res.Found || !VerifyWitness(res, g, s.Min, 0, n-1) {
+		t.Fatal("overlay query must see the freshly added edge")
+	}
+	st := e.Stats()
+	if st.OverlayReads == 0 {
+		t.Fatal("single-edge delta was not served through an overlay view")
+	}
+	if st.PendingAdds != 1 || st.PendingRemoves != 0 {
+		t.Fatalf("expected pending delta (1,0), got (%d,%d)", st.PendingAdds, st.PendingRemoves)
+	}
+
+	// A compaction merges the delta away without moving the epoch, so
+	// cached tables stay live and subsequent queries go pass-through.
+	epoch := st.Epoch
+	if !e.Compact() {
+		t.Fatal("Compact reported no work with a pending delta")
+	}
+	before := e.Stats().PassThroughReads
+	res = e.Solve(0, n-1)
+	if !res.Found || !VerifyWitness(res, g, s.Min, 0, n-1) {
+		t.Fatal("query after Compact must still see the added edge")
+	}
+	st = e.Stats()
+	if st.Epoch != epoch {
+		t.Fatalf("Compact moved the epoch: %d -> %d", epoch, st.Epoch)
+	}
+	if st.PendingAdds+st.PendingRemoves != 0 {
+		t.Fatalf("delta must be empty after Compact, got (%d,%d)", st.PendingAdds, st.PendingRemoves)
+	}
+	if st.Compactions != c0+1 {
+		t.Fatalf("expected %d compactions, got %d", c0+1, st.Compactions)
+	}
+	if st.PassThroughReads != before+1 {
+		t.Fatalf("query after Compact must be pass-through (%d -> %d)", before, st.PassThroughReads)
 	}
 }

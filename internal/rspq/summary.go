@@ -244,7 +244,7 @@ type gapSpan struct {
 }
 
 type seqSearcher struct {
-	csr      *graph.CSR
+	vw       *graph.View
 	n        int
 	x, y     int
 	shortest bool
@@ -296,23 +296,25 @@ type seqSearcher struct {
 var seqSearcherPool = sync.Pool{New: func() any { return new(seqSearcher) }}
 
 // acquireSeqSearcher readies a pooled searcher for queries on one
-// (g, seq, y) combination: plan from the memo cache, CSR snapshot from
-// the graph, scratch grown in place, co-reachability table recomputed
-// (it depends only on g and y — NOT on the source x, which is supplied
-// per run call, so batched queries sharing a target reuse the table).
+// (g, seq, y) combination: plan from the memo cache, snapshot view
+// pinned from the graph, scratch grown in place, co-reachability table
+// recomputed (it depends only on g and y — NOT on the source x, which
+// is supplied per run call, so batched queries sharing a target reuse
+// the table).
 func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest bool) *seqSearcher {
-	return acquireSeqSearcherCSR(g.Freeze(), g.FreezeSharded(), seq, y, shortest, nil, nil)
+	return acquireSeqSearcherView(g.PinView(), seq, y, shortest, nil, nil)
 }
 
-// acquireSeqSearcherCSR is acquireSeqSearcher against an explicit
-// frozen snapshot (monolithic plus optional partition), optionally
+// acquireSeqSearcherView is acquireSeqSearcher against an explicitly
+// pinned snapshot view (carrying its partition, when any), optionally
 // reusing a cached co-reachability table (ext) instead of recomputing
 // it — the summary tier's cross-query cache hit path. counts, when
 // non-nil, receives per-direction frontier-exchange round counts.
-func acquireSeqSearcherCSR(csr *graph.CSR, sc *graph.ShardedCSR, seq *psitr.Sequence, y int, shortest bool, ext *coTable, counts *exchCounters) *seqSearcher {
+func acquireSeqSearcherView(vw *graph.View, seq *psitr.Sequence, y int, shortest bool, ext *coTable, counts *exchCounters) *seqSearcher {
+	sc := vw.Sharded()
 	ss := seqSearcherPool.Get().(*seqSearcher)
-	ss.csr = csr
-	ss.n = ss.csr.NumVertices()
+	ss.vw = vw
+	ss.n = ss.vw.NumVertices()
 	ss.y = y
 	ss.shortest = shortest
 	ss.plan = planFor(seq)
@@ -346,7 +348,7 @@ func acquireSeqSearcherCSR(csr *graph.CSR, sc *graph.ShardedCSR, seq *psitr.Sequ
 }
 
 func (ss *seqSearcher) release() {
-	ss.csr = nil
+	ss.vw = nil
 	ss.plan = nil
 	ss.units = nil
 	ss.best = nil
@@ -382,17 +384,17 @@ func (ss *seqSearcher) computeCoReach() {
 	ss.coreach.reset(ss.n * pc)
 	cur, nxt := ss.queue[:0], ss.queue2[:0]
 	frontEdges := int64(0)
-	unvisEdges := int64(pc) * int64(ss.csr.NumEdges())
+	unvisEdges := int64(pc) * int64(ss.vw.NumEdges())
 	for _, s := range ss.plan.accepts {
 		id := ss.y*pc + int(s)
 		if !ss.coreach.has(id) {
 			ss.coreach.add(id)
 			cur = append(cur, int32(id))
-			frontEdges += int64(ss.csr.InDegree(ss.y))
-			unvisEdges -= int64(ss.csr.OutDegree(ss.y))
+			frontEdges += int64(ss.vw.InDegree(ss.y))
+			unvisEdges -= int64(ss.vw.OutDegree(ss.y))
 		}
 	}
-	bottomUp, dense := false, dirDense(ss.csr.NumEdges(), ss.n)
+	bottomUp, dense := false, dirDense(ss.vw.NumEdges(), ss.n)
 	for len(cur) > 0 {
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(ss.n*pc))
 		frontEdges = 0
@@ -407,25 +409,25 @@ func (ss *seqSearcher) computeCoReach() {
 					}
 					ss.coreach.add(id)
 					nxt = append(nxt, int32(id))
-					frontEdges += int64(ss.csr.InDegree(v))
-					unvisEdges -= int64(ss.csr.OutDegree(v))
+					frontEdges += int64(ss.vw.InDegree(v))
+					unvisEdges -= int64(ss.vw.OutDegree(v))
 				}
 			}
 		} else {
 			for _, id := range cur {
 				v, s := int(id)/pc, int(id)%pc
 				for _, arc := range ss.plan.rnfa[s] {
-					lid := ss.csr.LabelID(arc.label)
+					lid := ss.vw.LabelID(arc.label)
 					if lid < 0 {
 						continue
 					}
-					for _, u := range ss.csr.InWithID(v, lid) {
+					for _, u := range ss.vw.InWithID(v, lid) {
 						pid := int(u)*pc + int(arc.from)
 						if !ss.coreach.has(pid) {
 							ss.coreach.add(pid)
 							nxt = append(nxt, int32(pid))
-							frontEdges += int64(ss.csr.InDegree(int(u)))
-							unvisEdges -= int64(ss.csr.OutDegree(int(u)))
+							frontEdges += int64(ss.vw.InDegree(int(u)))
+							unvisEdges -= int64(ss.vw.OutDegree(int(u)))
 						}
 					}
 				}
@@ -441,11 +443,11 @@ func (ss *seqSearcher) computeCoReach() {
 // the sequential bottom-up probe of the summary sweep.
 func (ss *seqSearcher) buProbeSeqLocal(v, pos, pc int) bool {
 	for _, arc := range ss.plan.fnfa[pos] {
-		lid := ss.csr.LabelID(arc.label)
+		lid := ss.vw.LabelID(arc.label)
 		if lid < 0 {
 			continue
 		}
-		for _, u := range ss.csr.OutWithID(v, lid) {
+		for _, u := range ss.vw.OutWithID(v, lid) {
 			if ss.coreach.has(int(u)*pc + int(arc.to)) {
 				return true
 			}
@@ -525,7 +527,7 @@ func (ss *seqSearcher) walkWord(ui, j, v int) {
 		return
 	}
 	label := u.w[j]
-	for _, to32 := range ss.csr.OutWith(v, label) {
+	for _, to32 := range ss.vw.OutWith(v, label) {
 		to := int(to32)
 		if ss.used[to] || !ss.ok(to, u.wordStates[j+1]) {
 			continue
@@ -553,7 +555,7 @@ func (ss *seqSearcher) walkGapExplicit(ui, remaining, consumed, v int) {
 	next := consumed + 1
 	pos := ss.gapPos(u, next)
 	for _, label := range u.a {
-		for _, to32 := range ss.csr.OutWith(v, label) {
+		for _, to32 := range ss.vw.OutWith(v, label) {
 			to := int(to32)
 			if ss.used[to] || !ss.ok(to, pos) {
 				continue
@@ -588,7 +590,7 @@ func (ss *seqSearcher) walkGapHead(ui, j, v int) {
 	}
 	pos := u.chain[j+1]
 	for _, label := range u.a {
-		for _, to32 := range ss.csr.OutWith(v, label) {
+		for _, to32 := range ss.vw.OutWith(v, label) {
 			to := int(to32)
 			if ss.used[to] || !ss.ok(to, pos) {
 				continue
@@ -616,7 +618,7 @@ func (ss *seqSearcher) chooseGapExit(ui, entry int) {
 	for at := base; at < len(ss.orderBuf); at++ {
 		v := int(ss.orderBuf[at])
 		for _, label := range u.a {
-			for _, to32 := range ss.csr.OutWith(v, label) {
+			for _, to32 := range ss.vw.OutWith(v, label) {
 				to := int(to32)
 				if !ss.reachSeen.has(to) {
 					ss.reachSeen.add(to)
@@ -663,7 +665,7 @@ func (ss *seqSearcher) walkGapTail(ui, j, v int) {
 		return
 	}
 	for _, label := range u.a {
-		for _, to32 := range ss.csr.OutWith(v, label) {
+		for _, to32 := range ss.vw.OutWith(v, label) {
 			to := int(to32)
 			if ss.used[to] || !ss.ok(to, u.loop) {
 				continue
@@ -713,7 +715,7 @@ func (ss *seqSearcher) complete() {
 		for at := 0; at < len(ss.inQueue); at++ {
 			v := int(ss.inQueue[at])
 			for _, label := range gp.a {
-				for _, to32 := range ss.csr.OutWith(v, label) {
+				for _, to32 := range ss.vw.OutWith(v, label) {
 					t := int(to32)
 					if ss.dstamp.has(t) || ss.accAll.has(t) {
 						continue
