@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json bench-shard bench-flood bench-overlay serve docs
+.PHONY: check build vet test race bench bench-smoke bench-json bench-shard bench-flood bench-overlay metrics-smoke serve docs
 
 check: build vet test race
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/graph/ ./internal/cache/ ./internal/rspq/
+	$(GO) test -race ./internal/graph/ ./internal/cache/ ./internal/metrics/ ./internal/rspq/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -42,6 +42,12 @@ bench-flood:
 # refreeze-read by ≥3x at the 1% delta point.
 bench-overlay:
 	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-overlay.json -workloads overlay
+
+# metrics-smoke: boot rspqd, answer a query, and assert the /metrics
+# exposition reports it and agrees with /stats — the CI observability
+# smoke test.
+metrics-smoke:
+	bash scripts/metrics_smoke.sh
 
 serve:
 	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'

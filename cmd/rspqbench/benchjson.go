@@ -36,6 +36,29 @@ type benchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// Engine-backed workloads also record tail latency, read off the
+	// engine's rspq_query_seconds histogram after the run: ns/op is a
+	// mean and hides the tail the serving path actually exhibits.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+}
+
+// benchQuantiles maps workload name → percentile reader. Builders
+// register their engine-backed workloads here (the only ones with a
+// latency histogram to read); runBenchJSON consults it after each run
+// to attach p50/p95/p99 to the record.
+var benchQuantiles = map[string]func() (p50, p95, p99 float64){}
+
+// engineQuantiles reads the three serving percentiles, in seconds,
+// from eng's per-query latency histogram (all tiers merged).
+func engineQuantiles(eng *rspq.Engine) func() (p50, p95, p99 float64) {
+	return func() (p50, p95, p99 float64) {
+		reg := eng.Metrics()
+		return reg.HistogramQuantile("rspq_query_seconds", 0.50),
+			reg.HistogramQuantile("rspq_query_seconds", 0.95),
+			reg.HistogramQuantile("rspq_query_seconds", 0.99)
+	}
 }
 
 type benchReport struct {
@@ -311,6 +334,8 @@ func coreWorkloads() []workload {
 	engPairs := hotPairs(400, 7)
 	engWarm := rspq.NewEngine(summary, summaryG, rspq.EngineConfig{})
 	engTables := rspq.NewEngine(summary, summaryG, rspq.EngineConfig{ResultBytes: -1})
+	benchQuantiles["engine-hot-summary/64q-4t"] = engineQuantiles(engWarm)
+	benchQuantiles["engine-tables-summary/64q-4t"] = engineQuantiles(engTables)
 	subwordBatch := rspq.NewBatchSolver(subword, subwordG)
 	subwordPairs := batchPairs(400, 7)
 
@@ -478,8 +503,16 @@ func runBenchJSON(path, filter string) error {
 				BytesPerOp:  r.AllocedBytesPerOp(),
 				Iterations:  r.N,
 			}
-			fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			if qf := benchQuantiles[w.name]; qf != nil {
+				p50, p95, p99 := qf()
+				rec.P50Ns, rec.P95Ns, rec.P99Ns = p50*1e9, p95*1e9, p99*1e9
+			}
+			fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d B/op %6d allocs/op",
 				rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+			if rec.P99Ns > 0 {
+				fmt.Fprintf(os.Stderr, "  p50=%.0fns p95=%.0fns p99=%.0fns", rec.P50Ns, rec.P95Ns, rec.P99Ns)
+			}
+			fmt.Fprintln(os.Stderr)
 			report.Workloads = append(report.Workloads, rec)
 		}
 	}

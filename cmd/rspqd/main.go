@@ -16,7 +16,21 @@
 //	POST /edge   {"from":3,"label":"c","to":0}      add one edge
 //	POST /edges  {"add":[...],"remove":[...]}       bulk edge delta
 //	GET  /stats                                     engine + cache + shard stats
+//	GET  /metrics                                   Prometheus text exposition
 //	GET  /healthz                                   liveness: build info, epoch, shards
+//
+// Observability: /metrics serves the Prometheus exposition of one
+// shared registry covering the transport (rspqd_http_*), the engine
+// (per-tier query counts and latency, per-stage timings, cache and
+// compaction state) and the kernels (BFS rounds, direction switches,
+// bit-parallel dispatches); /stats reads the very same registry, so the
+// two never disagree. POST /query with "trace":true (or ?trace=1)
+// additionally returns the per-query trace: stage timings plus every
+// kernel round with direction, frontier size and wall time. -slow-query
+// logs any request at or above the threshold; -max-inflight bounds the
+// query pairs concurrently admitted through /batch (excess batches get
+// 429 + Retry-After); -debug-addr serves net/http/pprof on a separate
+// listener so profiling is opt-in and never exposed on the query port.
 //
 // With -shards K the graph snapshot is partitioned into K row-range
 // CSR shards and every backward product search runs as a
@@ -53,15 +67,18 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/rspq"
 )
 
@@ -78,15 +95,30 @@ type server struct {
 	eng     *rspq.Engine
 	pattern string
 	started time.Time
+
+	reg *metrics.Registry // shared engine+transport registry, served by /metrics
+
+	slowQuery     time.Duration // log requests at/above this; 0 disables
+	maxInflight   int64         // /batch admission bound on in-flight pairs; 0 = unbounded
+	inflightPairs atomic.Int64
+	hm            httpMetrics
 }
 
 func newServer(s *rspq.Solver, g *graph.Graph, pattern string, cfg rspq.EngineConfig) *server {
-	return &server{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	srv := &server{
 		g:       g,
 		eng:     rspq.NewEngine(s, g, cfg),
 		pattern: pattern,
 		started: time.Now(),
+		reg:     reg,
 	}
+	srv.hm = newHTTPMetrics(reg, func() float64 { return float64(srv.inflightPairs.Load()) })
+	return srv
 }
 
 // compactLoop is the background compaction goroutine: it polls the
@@ -124,12 +156,13 @@ func (s *server) maybeCompact() bool {
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/edge", s.handleEdge)
-	mux.HandleFunc("/edges", s.handleEdges)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("/edge", s.instrument("edge", s.handleEdge))
+	mux.HandleFunc("/edges", s.instrument("edges", s.handleEdges))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	return mux
 }
 
@@ -150,11 +183,13 @@ type queryRequest struct {
 	X          int  `json:"x"`
 	Y          int  `json:"y"`
 	ExistsOnly bool `json:"exists_only"`
+	Trace      bool `json:"trace"`
 }
 
 type queryResponse struct {
-	Found bool      `json:"found"`
-	Path  *pathJSON `json:"path,omitempty"`
+	Found bool             `json:"found"`
+	Path  *pathJSON        `json:"path,omitempty"`
+	Trace *rspq.QueryTrace `json:"trace,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -162,8 +197,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		req.Trace = true
+	}
+	s.inflightPairs.Add(1)
+	defer s.inflightPairs.Add(-1)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if req.Trace {
+		// A traced query always runs the full solve; exists_only merely
+		// drops the witness from the response.
+		res, tr := s.eng.SolveTraced(req.X, req.Y)
+		resp := queryResponse{Found: res.Found, Trace: tr}
+		if !req.ExistsOnly {
+			resp.Path = toPathJSON(res.Path)
+		}
+		writeJSON(w, resp)
+		return
+	}
 	if req.ExistsOnly {
 		writeJSON(w, queryResponse{Found: s.eng.Exists(req.X, req.Y)})
 		return
@@ -187,6 +238,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	release, ok := s.admitPairs(w, len(req.Pairs))
+	if !ok {
+		return
+	}
+	defer release()
 	pairs := make([]rspq.Pair, len(req.Pairs))
 	for i, p := range req.Pairs {
 		pairs[i] = rspq.Pair{X: p.X, Y: p.Y}
@@ -408,6 +464,9 @@ func main() {
 	compactDelta := flag.Int("compact-delta", 0, "pending-delta watermark triggering a background compaction (0 = engine default, negative disables the compactor)")
 	compactEvery := flag.Duration("compact-every", 250*time.Millisecond, "background compaction poll interval")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "log requests taking at least this long (0 disables)")
+	maxInflight := flag.Int64("max-inflight", 0, "reject /batch with 429 when admitted in-flight pairs would exceed this (0 = unbounded)")
 	flag.Parse()
 
 	if *pattern == "" || (*graphPath == "" && *gen <= 0) {
@@ -442,6 +501,24 @@ func main() {
 		Shards:       *shards,
 		CompactDelta: *compactDelta,
 	})
+	srv.slowQuery = *slowQuery
+	srv.maxInflight = *maxInflight
+	if *debugAddr != "" {
+		// pprof rides its own mux on its own listener: profiling stays
+		// opt-in and the query port never exposes /debug.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("rspqd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("rspqd: pprof listener: %v", err)
+			}
+		}()
+	}
 	shardNote := ""
 	if srv.eng.ShardsAdaptive() {
 		shardNote = " adaptive"

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rspq"
+)
+
+// scrape fetches /metrics and parses the exposition into a map keyed
+// exactly like the sample lines ("name{labels}" → value), skipping
+// comments.
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d; want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q; want text/plain", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sumPrefix adds up every sample whose key starts with prefix (all
+// label combinations of one family).
+func sumPrefix(m map[string]float64, prefix string) float64 {
+	var s float64
+	for k, v := range m {
+		if strings.HasPrefix(k, prefix) {
+			s += v
+		}
+	}
+	return s
+}
+
+// TestMetricsEndpoint pins the exposition basics: the per-tier query
+// counter moves with traffic, the latency histogram's _count agrees
+// with it, and the transport series record the scrape itself.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, nil)
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, nil)
+
+	m := scrape(t, ts.URL)
+	if got := sumPrefix(m, "rspq_queries_total{"); got != 2 {
+		t.Fatalf("rspq_queries_total sums to %v; want 2", got)
+	}
+	if got := m[`rspq_queries_total{tier="dag"}`]; got != 2 {
+		t.Fatalf("dag tier counter = %v; want 2 (quickstart graph is acyclic)", got)
+	}
+	if got := sumPrefix(m, "rspq_query_seconds_count{"); got != 2 {
+		t.Fatalf("latency histogram count sums to %v; want 2", got)
+	}
+	if got := m[`rspq_stage_seconds_count{stage="pin"}`]; got != 2 {
+		t.Fatalf("pin stage count = %v; want 2", got)
+	}
+	if got := m[`rspqd_http_requests_total{endpoint="query",code="2xx"}`]; got != 2 {
+		t.Fatalf("http query counter = %v; want 2", got)
+	}
+	// The scrape that produced m was itself in flight, so its own
+	// request counter may not include it yet; a second scrape must.
+	m2 := scrape(t, ts.URL)
+	if got := m2[`rspqd_http_requests_total{endpoint="metrics",code="2xx"}`]; got < 1 {
+		t.Fatalf("metrics endpoint counter = %v; want >= 1", got)
+	}
+	if got := m2["rspqd_inflight_pairs"]; got != 0 {
+		t.Fatalf("inflight pairs at rest = %v; want 0", got)
+	}
+}
+
+// TestStatsMetricsAgree drives a mixed query/mutation/compaction
+// sequence and then asserts that every counter /stats reports equals
+// the corresponding /metrics sample — the two surfaces are reads over
+// the same registry and must never disagree.
+func TestStatsMetricsAgree(t *testing.T) {
+	srv, ts := testServer(t)
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, nil)
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, nil) // result-cache hit
+	postJSON(t, ts.URL+"/query", `{"x":1,"y":3,"exists_only":true}`, nil)
+	postJSON(t, ts.URL+"/batch", `{"pairs":[{"x":0,"y":3},{"x":2,"y":3},{"x":3,"y":0}]}`, nil)
+	postJSON(t, ts.URL+"/edge", `{"from":3,"label":"c","to":0}`, nil)
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, nil)
+	postJSON(t, ts.URL+"/edges", `{"add":[{"from":2,"label":"c","to":0}],"remove":[{"from":0,"label":"a","to":1}]}`, nil)
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, nil)
+	srv.mu.Lock()
+	srv.eng.Compact()
+	srv.mu.Unlock()
+	postJSON(t, ts.URL+"/query", `{"x":3,"y":0}`, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	m := scrape(t, ts.URL)
+
+	eq := func(name string, stats float64, sample float64) {
+		t.Helper()
+		if stats != sample {
+			t.Fatalf("%s: /stats says %v, /metrics says %v", name, stats, sample)
+		}
+	}
+	e := st.Engine
+	eq("queries", float64(e.Queries), sumPrefix(m, "rspq_queries_total{"))
+	eq("batches", float64(e.Batches), m["rspq_batches_total"])
+	eq("batch_pairs", float64(e.BatchPairs), m["rspq_batch_pairs_total"])
+	eq("snapshot_rebuilds", float64(e.SnapshotRebuilds), m["rspq_snapshot_rebuilds_total"])
+	eq("epoch", float64(e.Epoch), m["rspq_epoch"])
+	eq("full_freezes", float64(e.FullFreezes), m[`rspq_freezes_total{kind="full"}`])
+	eq("incremental_freezes", float64(e.IncrementalFreezes), m[`rspq_freezes_total{kind="incremental"}`])
+	eq("overlay_reads", float64(e.OverlayReads), m[`rspq_reads_total{view="overlay"}`])
+	eq("pass_through_reads", float64(e.PassThroughReads), m[`rspq_reads_total{view="pass_through"}`])
+	eq("exchange_rounds", float64(e.ExchangeRounds), sumPrefix(m, "rspq_kernel_rounds_total{"))
+	eq("top_down_rounds", float64(e.TopDownRounds), m[`rspq_kernel_rounds_total{dir="top_down"}`])
+	eq("bottom_up_rounds", float64(e.BottomUpRounds), m[`rspq_kernel_rounds_total{dir="bottom_up"}`])
+	eq("direction_switches", float64(e.DirectionSwitches), m["rspq_kernel_direction_switches_total"])
+	eq("bit_parallel_hits", float64(e.BitParallelHits), m["rspq_bit_parallel_hits_total"])
+	eq("compactions", float64(e.Compactions), m["rspq_compactions_total"])
+	eq("compaction_merged_edges", float64(e.CompactionMergedEdges), m["rspq_compaction_merged_edges_total"])
+	eq("last_compaction_seconds", e.LastCompactionSeconds, m["rspq_last_compaction_seconds"])
+	eq("compact_watermark", float64(e.CompactWatermark), m["rspq_compact_watermark"])
+	eq("compact_headroom", float64(e.CompactHeadroom), m["rspq_compact_headroom"])
+	eq("pending_adds", float64(e.PendingAdds), m[`rspq_pending_delta{kind="adds"}`])
+	eq("pending_removes", float64(e.PendingRemoves), m[`rspq_pending_delta{kind="removes"}`])
+	eq("last_freeze_seconds", e.LastFreezeSeconds, m["rspq_last_freeze_seconds"])
+	eq("tables.hits", float64(e.Tables.Hits), m[`rspq_cache_hits_total{cache="tables"}`])
+	eq("tables.misses", float64(e.Tables.Misses), m[`rspq_cache_misses_total{cache="tables"}`])
+	eq("results.hits", float64(e.Results.Hits), m[`rspq_cache_hits_total{cache="results"}`])
+	eq("results.misses", float64(e.Results.Misses), m[`rspq_cache_misses_total{cache="results"}`])
+	eq("results.bytes", float64(e.Results.Bytes), m[`rspq_cache_bytes{cache="results"}`])
+	eq("results.entries", float64(e.Results.Entries), m[`rspq_cache_entries{cache="results"}`])
+
+	if e.Queries == 0 || e.Compactions == 0 || e.OverlayReads == 0 {
+		t.Fatalf("sequence must exercise queries, compaction and overlay reads: %+v", e)
+	}
+	if e.CompactionMergedEdges == 0 {
+		t.Fatalf("compaction must report merged delta edges: %+v", e)
+	}
+	if e.CompactHeadroom < 0 && e.CompactWatermark > 0 {
+		t.Fatalf("headroom must be non-negative under an enabled watermark: %+v", e)
+	}
+}
+
+// TestQueryTrace exercises SolveTraced over HTTP: both the ?trace=1
+// query parameter and the body flag return stage timings and kernel
+// rounds, and a repeated query shows up as a result-cache hit.
+func TestQueryTrace(t *testing.T) {
+	_, ts := testServer(t)
+	var resp queryResponse
+	postJSON(t, ts.URL+"/query?trace=1", `{"x":0,"y":3}`, &resp)
+	if !resp.Found || resp.Trace == nil {
+		t.Fatalf("traced query = %+v; want found with trace", resp)
+	}
+	tr := resp.Trace
+	if tr.Tier != "dag" || tr.X != 0 || tr.Y != 3 {
+		t.Fatalf("trace header = %+v; want dag tier, x=0, y=3", tr)
+	}
+	if tr.TotalNanos <= 0 {
+		t.Fatalf("trace total = %d; want > 0", tr.TotalNanos)
+	}
+	stages := make(map[string]bool, len(tr.Stages))
+	for _, stg := range tr.Stages {
+		stages[stg.Stage] = true
+	}
+	if !stages["pin"] || !stages["kernel"] {
+		t.Fatalf("trace stages = %+v; want at least pin and kernel", tr.Stages)
+	}
+	if tr.TopDownRounds+tr.BottomUpRounds == 0 || len(tr.Rounds) == 0 {
+		t.Fatalf("fresh traced query must record kernel rounds: %+v", tr)
+	}
+	for _, rd := range tr.Rounds {
+		if rd.Dir != "top_down" && rd.Dir != "bottom_up" {
+			t.Fatalf("round dir = %q", rd.Dir)
+		}
+	}
+
+	// The body flag is equivalent to the query parameter, and the
+	// repeat is served from the result cache: no kernel rounds.
+	var again queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3,"trace":true}`, &again)
+	if again.Trace == nil || !again.Trace.ResultCacheHit {
+		t.Fatalf("repeat trace = %+v; want result_cache_hit", again.Trace)
+	}
+	if len(again.Trace.Rounds) != 0 {
+		t.Fatalf("cache-served trace must have no kernel rounds: %+v", again.Trace)
+	}
+
+	// Untraced queries must not pay for or return a trace.
+	var plain queryResponse
+	postJSON(t, ts.URL+"/query", `{"x":0,"y":3}`, &plain)
+	if plain.Trace != nil {
+		t.Fatal("untraced query returned a trace")
+	}
+}
+
+// TestBatchAdmission pins the -max-inflight gate: an oversized batch
+// is rejected with 429 + Retry-After and counted, an in-budget batch
+// passes, and the reservation is released either way.
+func TestBatchAdmission(t *testing.T) {
+	// Build the server by hand so the admission bound is set before any
+	// handler goroutine can read it (as main() does via -max-inflight).
+	g := graph.New(4)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 3)
+	s, err := rspq.NewSolver("a*(bb+|())c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, g, "a*(bb+|())c*", rspq.EngineConfig{})
+	srv.maxInflight = 2
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/batch", `{"pairs":[{"x":0,"y":3},{"x":1,"y":3},{"x":2,"y":3}]}`, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch: status %d; want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	var ok batchResponse
+	if r := postJSON(t, ts.URL+"/batch", `{"pairs":[{"x":0,"y":3},{"x":3,"y":0}]}`, &ok); r.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget batch: status %d; want 200", r.StatusCode)
+	}
+	if len(ok.Results) != 2 || !ok.Results[0].Found || ok.Results[1].Found {
+		t.Fatalf("in-budget batch results = %+v", ok.Results)
+	}
+	if got := srv.inflightPairs.Load(); got != 0 {
+		t.Fatalf("inflight pairs after requests = %d; want 0", got)
+	}
+	m := scrape(t, ts.URL)
+	if m["rspqd_batch_rejected_total"] != 1 {
+		t.Fatalf("rejected counter = %v; want 1", m["rspqd_batch_rejected_total"])
+	}
+	if m[`rspqd_http_requests_total{endpoint="batch",code="4xx"}`] != 1 {
+		t.Fatalf("batch 4xx counter = %v; want 1", m[`rspqd_http_requests_total{endpoint="batch",code="4xx"}`])
+	}
+}

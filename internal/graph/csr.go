@@ -2,6 +2,7 @@ package graph
 
 import (
 	"slices"
+	"time"
 
 	"repro/internal/automaton"
 )
@@ -50,6 +51,8 @@ type CSR struct {
 // fresh arrays, never touching snapshots already handed out).
 func (g *Graph) Freeze() *CSR {
 	if g.csr == nil {
+		start := time.Now()
+		delta := uint64(len(g.addBuf) + len(g.delBuf))
 		merged := g.canMergeDelta()
 		switch {
 		case merged && g.singleHolder:
@@ -76,6 +79,11 @@ func (g *Graph) Freeze() *CSR {
 		g.addBuf, g.delBuf = nil, nil
 		g.deltaNewLabel = false
 		g.view = nil // an overlay view over the old base is superseded
+		ns := uint64(time.Since(start).Nanoseconds())
+		g.freezeNanos.Add(ns)
+		g.lastFreezeNanos.Store(ns)
+		g.freezeDelta.Add(delta)
+		g.lastFreezeDelta.Store(delta)
 	} else if g.shardCount > 0 && g.sharded == nil {
 		// Sharding was configured (or reconfigured) after the CSR was
 		// already frozen: partition the existing snapshot now, so that

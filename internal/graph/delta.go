@@ -69,6 +69,23 @@ func (g *Graph) FreezeStats() (full, incremental uint64) {
 // queries.
 func (g *Graph) InPlaceMerges() uint64 { return g.inPlaceBuilds.Load() }
 
+// FreezeTimings reports the cumulative wall time spent building CSR
+// snapshots (full rebuilds and incremental merges alike) and the wall
+// time of the most recent build, both in nanoseconds. Safe to call
+// concurrently with queries; a scrape racing an in-progress Freeze
+// simply sees the previous build's numbers.
+func (g *Graph) FreezeTimings() (totalNanos, lastNanos uint64) {
+	return g.freezeNanos.Load(), g.lastFreezeNanos.Load()
+}
+
+// FreezeDeltaEdges reports how many buffered mutations (adds plus
+// remove tombstones) the CSR builds absorbed: the cumulative total
+// across all freezes and the size absorbed by the most recent one.
+// Safe to call concurrently with queries.
+func (g *Graph) FreezeDeltaEdges() (total, last uint64) {
+	return g.freezeDelta.Load(), g.lastFreezeDelta.Load()
+}
+
 // SetSingleHolder records the caller's promise that the graph itself is
 // the only holder of its CSR snapshots: no *CSR (or *ShardedCSR)
 // obtained before a mutation will ever be read after the next Freeze.

@@ -69,6 +69,15 @@ type Graph struct {
 	incBuilds     atomic.Uint64
 	inPlaceBuilds atomic.Uint64
 
+	// Freeze telemetry (delta.go accessors): cumulative and
+	// most-recent build wall time, and the delta sizes (adds +
+	// removes) those builds absorbed. Atomic so a metrics scrape may
+	// read them while a background compaction freezes.
+	freezeNanos     atomic.Uint64
+	lastFreezeNanos atomic.Uint64
+	freezeDelta     atomic.Uint64
+	lastFreezeDelta atomic.Uint64
+
 	// Partitioned-snapshot state (shard.go): the configured shard count
 	// (0 = unsharded), the cached sharded snapshot and its merge base.
 	shardCount  int

@@ -1,0 +1,457 @@
+// Package metrics is a zero-dependency metrics substrate: atomically
+// updated counters, gauges and fixed-bucket histograms behind a named
+// registry, with Prometheus text-format exposition (WritePrometheus)
+// and a flat Snapshot API for tests.
+//
+// The design splits registration from recording. Registration
+// (Registry.Counter / Gauge / Histogram and the Func variants) takes a
+// lock, allocates, and returns a handle; it happens once, at component
+// construction. Recording (Counter.Add, Histogram.Observe, Gauge.Set)
+// is a handful of atomic operations on the pre-registered handle —
+// no locks, no allocation, no map lookups — so instrumented hot paths
+// keep their zero-allocation contracts.
+//
+// Metric identity follows the Prometheus model: a FAMILY is a name
+// plus a kind (counter / gauge / histogram) and a help string; a
+// SERIES is one labeled instance of a family. Registering the same
+// (name, labels) twice returns the same handle, so independent
+// components may share a registry — but note that sharing a series
+// means sharing its value. Registering one name with two different
+// kinds panics: that is a programming error, not a runtime condition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency histogram layout, in seconds:
+// roughly logarithmic from 1µs to 10s, dense enough around the
+// microsecond-to-millisecond band where the query engine lives for
+// interpolated quantiles to be meaningful.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// kind is the metric family type, fixed at first registration.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing value. The zero Counter is
+// ready to use, but series meant for exposition must come from a
+// Registry.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must not be negative for the exposition to stay a
+// valid Prometheus counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: per-bucket atomic
+// counters, a total count and a running sum. Observe is lock-free and
+// allocation-free; buckets are immutable after construction.
+type Histogram struct {
+	upper   []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	return &Histogram{upper: up, buckets: make([]atomic.Int64, len(up)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus
+// convention for latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate PromQL's histogram_quantile computes. It returns 0 when the
+// histogram is empty; observations beyond the last finite bound clamp
+// to that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return bucketQuantile(h.upper, counts, q)
+}
+
+func bucketQuantile(upper []float64, counts []int64, q float64) float64 {
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(upper) { // +Inf bucket: clamp to the last finite bound
+			return upper[len(upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = upper[i-1]
+		}
+		hi := upper[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return upper[len(upper)-1]
+}
+
+// series is one labeled instance of a family: exactly one of the value
+// sources is set.
+type series struct {
+	labels []string // alternating key, value
+	c      *Counter
+	g      *Gauge
+	fn     func() float64 // CounterFunc / GaugeFunc callback
+	h      *Histogram
+}
+
+// family is a named metric with a fixed kind and its ordered series.
+type family struct {
+	name, help string
+	kind       kind
+	buckets    []float64
+	series     []*series
+	index      map[string]*series
+}
+
+// Registry is an ordered collection of metric families. All methods
+// are safe for concurrent use; the recording handles they return never
+// touch the registry lock again.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelKey builds the series identity from alternating key/value
+// pairs; it panics on an odd-length label list (a programming error).
+func labelKey(labels []string) string {
+	if len(labels)%2 != 0 {
+		panic("metrics: labels must be alternating key, value pairs")
+	}
+	return strings.Join(labels, "\x00")
+}
+
+// register returns the series for (name, labels), creating the family
+// and/or series on first use. It panics when the name is already
+// registered with a different kind.
+func (r *Registry) register(name, help string, k kind, buckets []float64, labels []string) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, buckets: buckets, index: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s already registered as %s, not %s", name, f.kind, k))
+	}
+	if s, ok := f.index[key]; ok {
+		return s
+	}
+	s := &series{labels: append([]string(nil), labels...)}
+	switch k {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = newHistogram(f.buckets)
+	}
+	f.series = append(f.series, s)
+	f.index[key] = s
+	return s
+}
+
+// Counter returns the counter series (name, labels), registering it on
+// first use. labels are alternating key, value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.register(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge series (name, labels), registering it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.register(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram series (name, labels), registering
+// it on first use. buckets (ascending upper bounds, +Inf implicit) are
+// fixed by the FIRST registration of the family; nil selects
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return r.register(name, help, kindHistogram, buckets, labels).h
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at exposition time — for mirroring counters that already live
+// elsewhere (cache hit counts, freeze counters) so two surfaces can
+// never disagree. fn must be safe to call concurrently. The first
+// registration of a (name, labels) pair wins.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.register(name, help, kindCounter, nil, labels)
+	r.mu.Lock()
+	if s.fn == nil {
+		s.fn, s.c = fn, nil
+	}
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// exposition time. fn must be safe to call concurrently. The first
+// registration of a (name, labels) pair wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	s := r.register(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	if s.fn == nil {
+		s.fn, s.g = fn, nil
+	}
+	r.mu.Unlock()
+}
+
+// value reads a non-histogram series.
+func (s *series) value() float64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.c != nil:
+		return float64(s.c.Value())
+	case s.g != nil:
+		return s.g.Value()
+	}
+	return 0
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {k="v",...}; extra, when non-empty, is an
+// additional pre-rendered pair (the histogram le label).
+func formatLabels(labels []string, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteString(`"`)
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every family in registration order in the
+// Prometheus text exposition format (version 0.0.4). Histograms emit
+// cumulative _bucket lines plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind != kindHistogram {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, formatLabels(s.labels, ""), formatValue(s.value()))
+				continue
+			}
+			cum := int64(0)
+			for i, bound := range s.h.upper {
+				cum += s.h.buckets[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					formatLabels(s.labels, `le="`+formatValue(bound)+`"`), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, `le="+Inf"`), s.h.Count())
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, formatLabels(s.labels, ""), formatValue(s.h.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, formatLabels(s.labels, ""), s.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot returns every series as a flat map keyed exactly like the
+// exposition lines ("name{k=\"v\"}"); histograms expand to _bucket,
+// _sum and _count entries. Built for tests asserting that two surfaces
+// report identical values.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64)
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, s := range f.series {
+			if f.kind != kindHistogram {
+				out[f.name+formatLabels(s.labels, "")] = s.value()
+				continue
+			}
+			cum := int64(0)
+			for i, bound := range s.h.upper {
+				cum += s.h.buckets[i].Load()
+				out[f.name+"_bucket"+formatLabels(s.labels, `le="`+formatValue(bound)+`"`)] = float64(cum)
+			}
+			out[f.name+"_bucket"+formatLabels(s.labels, `le="+Inf"`)] = float64(s.h.Count())
+			out[f.name+"_sum"+formatLabels(s.labels, "")] = s.h.Sum()
+			out[f.name+"_count"+formatLabels(s.labels, "")] = float64(s.h.Count())
+		}
+	}
+	return out
+}
+
+// HistogramQuantile estimates the q-quantile of the named histogram
+// family MERGED across all its series (every series of one family
+// shares bucket bounds), e.g. the all-tier p99 of a per-tier latency
+// family. It returns 0 for an unknown family or an empty histogram.
+func (r *Registry) HistogramQuantile(name string, q float64) float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.families[name]
+	if !ok || f.kind != kindHistogram || len(f.series) == 0 {
+		return 0
+	}
+	upper := f.series[0].h.upper
+	counts := make([]int64, len(upper)+1)
+	for _, s := range f.series {
+		for i := range s.h.buckets {
+			counts[i] += s.h.buckets[i].Load()
+		}
+	}
+	return bucketQuantile(upper, counts, q)
+}

@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the exact text-format output for a small
+// registry: HELP/TYPE lines, label rendering, cumulative histogram
+// buckets, family ordering by registration.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Total requests.", "code", "200").Add(3)
+	r.Counter("app_requests_total", "Total requests.", "code", "500").Inc()
+	r.Gauge("app_temp", "Current temperature.").Set(36.6)
+	h := r.Histogram("app_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Total requests.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+# HELP app_temp Current temperature.
+# TYPE app_temp gauge
+app_temp 36.6
+# HELP app_seconds Request latency.
+# TYPE app_seconds histogram
+app_seconds_bucket{le="0.1"} 1
+app_seconds_bucket{le="1"} 2
+app_seconds_bucket{le="+Inf"} 3
+app_seconds_sum 5.55
+app_seconds_count 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestExpositionParseable walks every non-comment line of a busier
+// registry and checks it matches the text line protocol:
+// name[{labels}] value, with a parseable float value.
+func TestExpositionParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", "tier", "summary").Add(7)
+	r.Counter("c_total", "c", "tier", `we"ird\`+"\n").Add(1)
+	r.Gauge("g", "g").Set(-1.5)
+	r.GaugeFunc("gf", "gf", func() float64 { return 42 })
+	r.CounterFunc("cf_total", "cf", func() float64 { return 9 }, "k", "v")
+	r.Histogram("h_seconds", "h", nil, "stage", "kernel").ObserveDuration(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line without value: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if name == "" || strings.ContainsAny(name[:1], "0123456789") {
+			t.Errorf("bad series name in %q", line)
+		}
+		if val != "+Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Errorf("unparseable value in %q: %v", line, err)
+			}
+		}
+		if open := strings.IndexByte(name, '{'); open >= 0 && !strings.HasSuffix(name, "}") {
+			t.Errorf("unclosed label block in %q", line)
+		}
+	}
+}
+
+// TestSnapshotMatchesExposition checks that Snapshot keys are exactly
+// the exposition series names and the values agree.
+func TestSnapshotMatchesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q_total", "q", "tier", "finite").Add(4)
+	h := r.Histogram("lat_seconds", "l", []float64{0.01, 0.1})
+	h.Observe(0.002)
+	h.Observe(0.05)
+
+	snap := r.Snapshot()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		name, valStr := line[:sp], line[sp+1:]
+		got, ok := snap[name]
+		if !ok {
+			t.Errorf("snapshot missing series %q", name)
+			continue
+		}
+		want, _ := strconv.ParseFloat(valStr, 64)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: snapshot %v, exposition %v", name, got, want)
+		}
+		seen++
+	}
+	if seen != len(snap) {
+		t.Errorf("snapshot has %d series, exposition has %d", len(snap), seen)
+	}
+}
+
+// TestRegistryReuse checks get-or-create semantics: same (name,
+// labels) returns the same handle; different labels a different one;
+// kind conflicts panic.
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", "k", "1")
+	b := r.Counter("x_total", "ignored second help", "k", "1")
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "x", "k", "2")
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("x_total", "now a gauge")
+}
+
+// TestHistogramQuantile checks interpolated quantiles on a known
+// distribution, plus the family-level merge.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "d", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in (0, 1]
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.5 (linear interpolation in first bucket)", got)
+	}
+	h2 := r.Histogram("d", "d", nil, "s", "b")
+	for i := 0; i < 100; i++ {
+		h2.Observe(3) // all in (2, 4]
+	}
+	// Merged: 200 obs, rank 180 lands in h2's (2, 4] bucket.
+	if got := r.HistogramQuantile("d", 0.9); got <= 2 || got > 4 {
+		t.Errorf("merged p90 = %v, want in (2, 4]", got)
+	}
+	if got := r.HistogramQuantile("missing", 0.5); got != 0 {
+		t.Errorf("unknown family quantile = %v, want 0", got)
+	}
+	empty := NewRegistry().Histogram("e", "e", nil)
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestQuantileClampsToLastBound: observations past the last finite
+// bound report that bound, not +Inf.
+func TestQuantileClampsToLastBound(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want 2", got)
+	}
+}
+
+// TestConcurrentHammer exercises registration and recording from many
+// goroutines at once; run under -race this is the registry's data-race
+// gate.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tier := strconv.Itoa(w % 3)
+			for i := 0; i < 500; i++ {
+				r.Counter("ham_total", "h", "tier", tier).Inc()
+				r.Gauge("ham_gauge", "h").Add(1)
+				r.Histogram("ham_seconds", "h", nil, "tier", tier).Observe(float64(i) * 1e-6)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+					_ = r.Snapshot()
+					_ = r.HistogramQuantile("ham_seconds", 0.95)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for _, tier := range []string{"0", "1", "2"} {
+		total += r.Counter("ham_total", "h", "tier", tier).Value()
+	}
+	if total != workers*500 {
+		t.Errorf("counter total = %d, want %d", total, workers*500)
+	}
+	if g := r.Gauge("ham_gauge", "h").Value(); g != workers*500 {
+		t.Errorf("gauge = %v, want %d", g, workers*500)
+	}
+	count := int64(0)
+	for _, tier := range []string{"0", "1", "2"} {
+		count += r.Histogram("ham_seconds", "h", nil, "tier", tier).Count()
+	}
+	if count != workers*500 {
+		t.Errorf("histogram count = %d, want %d", count, workers*500)
+	}
+}
+
+// TestGaugeFuncFirstWins: a Func registration does not clobber an
+// existing one.
+func TestGaugeFuncFirstWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("f", "f", func() float64 { return 1 })
+	r.GaugeFunc("f", "f", func() float64 { return 2 })
+	if got := r.Snapshot()["f"]; got != 1 {
+		t.Errorf("f = %v, want 1 (first registration wins)", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // This file implements the batched query engine. The observation behind
@@ -45,7 +46,8 @@ type Pair struct {
 type BatchSolver struct {
 	s       *Solver
 	g       *graph.Graph
-	workers atomic.Int32 // pool size; atomic so SetWorkers may race with Solve
+	workers atomic.Int32  // pool size; atomic so SetWorkers may race with Solve
+	counts  *exchCounters // optional kernel telemetry sink (SetMetrics); nil by default
 }
 
 // NewBatchSolver readies a batch engine for s's language on g. It
@@ -67,6 +69,23 @@ func (bs *BatchSolver) SetWorkers(n int) *BatchSolver {
 		n = runtime.GOMAXPROCS(0)
 	}
 	bs.workers.Store(int32(n))
+	return bs
+}
+
+// SetMetrics points the solver's kernel telemetry (BFS rounds,
+// direction switches, bit-parallel dispatches, per-round wall time) at
+// reg; nil disconnects it again. Recording is atomic adds on series
+// resolved here, so batch hot paths stay allocation-free. Series names
+// match the Engine's (rspq_kernel_*); sharing a registry with an Engine
+// merges the two streams. It returns the receiver for chaining and must
+// not be called concurrently with Solve.
+func (bs *BatchSolver) SetMetrics(reg *metrics.Registry) *BatchSolver {
+	if reg == nil {
+		bs.counts = nil
+		return bs
+	}
+	c := newKernelCounters(reg)
+	bs.counts = &c
 	return bs
 }
 
@@ -223,6 +242,7 @@ func (bs *BatchSolver) batchFinite(vw *graph.View, grp *batchGroup, out []Result
 // and runs bit-parallel on ≤64-state DFAs (bitbfs.go).
 func (bs *BatchSolver) batchSubword(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProductView(vw, bs.s.Min, a)
+	p.counts = bs.counts
 	if found != nil {
 		p.coReach(grp.y, a)
 		for j, x := range grp.xs {
@@ -252,6 +272,7 @@ func (bs *BatchSolver) batchSubword(vw *graph.View, grp *batchGroup, out []Resul
 // mark-only (bit-parallelizable) coReach sweep.
 func (bs *BatchSolver) batchDAG(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProductView(vw, bs.s.Min, a)
+	p.counts = bs.counts
 	if found != nil {
 		p.coReach(grp.y, a)
 		for j, x := range grp.xs {
@@ -278,7 +299,7 @@ func (bs *BatchSolver) batchSummary(vw *graph.View, grp *batchGroup, out []Resul
 		if remaining == 0 {
 			return // skip later sequences' co-reachability builds
 		}
-		ss := acquireSeqSearcherView(vw, seq, grp.y, false, nil, nil)
+		ss := acquireSeqSearcherView(vw, seq, grp.y, false, nil, bs.counts, nil)
 		ss.existsOnly = found != nil
 		for j, x := range grp.xs {
 			if found != nil {
@@ -309,6 +330,7 @@ func (bs *BatchSolver) batchSummary(vw *graph.View, grp *batchGroup, out []Resul
 // simplicity), so existence-only mode merely drops the witness.
 func (bs *BatchSolver) batchBaseline(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProductView(vw, bs.s.Min, a)
+	p.counts = bs.counts
 	p.coReach(grp.y, a)
 	for j, x := range grp.xs {
 		res := baselineFrom(&p, a, bs.s.Min, x, grp.y, nil)

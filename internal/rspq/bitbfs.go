@@ -48,9 +48,21 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 		unvisEdges -= int64(p.vw.OutDegree(y))
 	}
 	L := p.vw.NumLabels()
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for len(curQ) > 0 {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(curQ)), int64(p.n))
+		if bottomUp != prev {
+			sw++
+		}
+		if bottomUp {
+			bu++
+		} else {
+			td++
+		}
+		t0 := p.roundStart()
+		front := len(curQ)
 		frontEdges = 0
 		nxtQ = nxtQ[:0]
 		if bottomUp {
@@ -113,7 +125,9 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 			nxt[v] = 0
 		}
 		curQ, nxtQ = nxtQ, curQ
+		p.roundEnd(t0, bottomUp, front)
 	}
+	p.runDone(td, bu, sw)
 	a.queue, a.queue2 = curQ[:0], nxtQ[:0]
 	p.scatterBits(a, vis)
 }
@@ -187,10 +201,15 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 	}
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
-	var td, bu int64
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for total > 0 {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(p.n))
+		if bottomUp != prev {
+			sw++
+		}
+		t0 := p.roundStart()
 		ex.clearAccum()
 		if bottomUp {
 			bu++
@@ -203,9 +222,10 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
+		p.roundEnd(t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	p.addRounds(td, bu)
+	p.runDone(td, bu, sw)
 	ex.release()
 	parShards(exchangeWorkers(K), K, func(s int) { p.scatterBitsShard(a, sc.Shard(s), vis) })
 }

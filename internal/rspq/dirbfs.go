@@ -153,9 +153,21 @@ func (p *product) coReachSeq(y int, a *arena) {
 		}
 	}
 	L := p.vw.NumLabels()
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for len(cur) > 0 {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
+		if bottomUp != prev {
+			sw++
+		}
+		if bottomUp {
+			bu++
+		} else {
+			td++
+		}
+		t0 := p.roundStart()
+		front := len(cur)
 		frontEdges = 0
 		nxt = nxt[:0]
 		if bottomUp {
@@ -200,7 +212,9 @@ func (p *product) coReachSeq(y int, a *arena) {
 			}
 		}
 		cur, nxt = nxt, cur
+		p.roundEnd(t0, bottomUp, front)
 	}
+	p.runDone(td, bu, sw)
 	a.queue, a.queue2 = cur[:0], nxt[:0]
 }
 
@@ -246,9 +260,21 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 		}
 	}
 	L := p.vw.NumLabels()
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for d := int32(1); len(cur) > 0; d++ {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
+		if bottomUp != prev {
+			sw++
+		}
+		if bottomUp {
+			bu++
+		} else {
+			td++
+		}
+		t0 := p.roundStart()
+		front := len(cur)
 		frontEdges = 0
 		nxt = nxt[:0]
 		if bottomUp {
@@ -298,7 +324,9 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 			}
 		}
 		cur, nxt = nxt, cur
+		p.roundEnd(t0, bottomUp, front)
 	}
+	p.runDone(td, bu, sw)
 	a.queue, a.queue2 = cur[:0], nxt[:0]
 }
 

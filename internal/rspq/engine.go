@@ -4,9 +4,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/psitr"
 )
 
@@ -74,6 +76,12 @@ type EngineConfig struct {
 	// a background Compact. Zero selects DefaultCompactDelta; a negative
 	// value disables the watermark (NeedsCompaction always false).
 	CompactDelta int
+	// Metrics, when non-nil, is the registry the engine registers its
+	// series on (so a serving layer can expose engine and server
+	// metrics from one endpoint); nil makes the engine create its own,
+	// reachable via Engine.Metrics. A registry should back at most one
+	// engine — a second engine would share and double-count the series.
+	Metrics *metrics.Registry
 }
 
 // Adaptive shard sizing (EngineConfig.Shards == 0): graphs below
@@ -134,19 +142,34 @@ type EngineStats struct {
 	TopDownRounds   int64 `json:"top_down_rounds,omitempty"`
 	BottomUpRounds  int64 `json:"bottom_up_rounds,omitempty"`
 	BitParallelHits int64 `json:"bit_parallel_hits,omitempty"`
+	// DirectionSwitches counts the rounds where the α/β heuristic
+	// flipped expansion direction mid-search (dirbfs.go).
+	DirectionSwitches int64 `json:"direction_switches,omitempty"`
 	// MVCC-lite visibility: the graph's pending mutation delta (edges
 	// added / tombstoned since the last freeze), how many queries were
 	// served through an overlay view versus a pass-through snapshot,
 	// and how many background compactions (Engine.Compact) have merged
 	// the delta away. Overlay reads with no freezes in between are the
 	// no-freeze hot path working as intended.
-	PendingAdds      int         `json:"pending_adds"`
-	PendingRemoves   int         `json:"pending_removes"`
-	OverlayReads     int64       `json:"overlay_reads"`
-	PassThroughReads int64       `json:"pass_through_reads"`
-	Compactions      int64       `json:"compactions"`
-	Tables           cache.Stats `json:"tables"`
-	Results          cache.Stats `json:"results"`
+	PendingAdds      int   `json:"pending_adds"`
+	PendingRemoves   int   `json:"pending_removes"`
+	OverlayReads     int64 `json:"overlay_reads"`
+	PassThroughReads int64 `json:"pass_through_reads"`
+	Compactions      int64 `json:"compactions"`
+	// Compaction and freeze cost visibility: cumulative and most-recent
+	// compaction wall time, how many delta edges compactions merged
+	// away, the configured watermark (-1 = disabled) with the remaining
+	// headroom before it (-1 when disabled, 0 when overdue), and the
+	// graph-side CSR build timings (all builds, not only compactions).
+	CompactionSeconds     float64     `json:"compaction_seconds"`
+	LastCompactionSeconds float64     `json:"last_compaction_seconds"`
+	CompactionMergedEdges int64       `json:"compaction_merged_edges"`
+	CompactWatermark      int         `json:"compact_watermark"`
+	CompactHeadroom       int         `json:"compact_headroom"`
+	FreezeBuildSeconds    float64     `json:"freeze_build_seconds"`
+	LastFreezeSeconds     float64     `json:"last_freeze_seconds"`
+	Tables                cache.Stats `json:"tables"`
+	Results               cache.Stats `json:"results"`
 }
 
 // table kinds, part of tableKey so the three tiers share one cache.
@@ -303,15 +326,13 @@ type Engine struct {
 	tables  *cache.Cache[tableKey, any] // nil when the tier is disabled
 	results *cache.Cache[resultKey, Result]
 
-	workers     atomic.Int32
-	queries     atomic.Int64
-	batches     atomic.Int64
-	batchPairs  atomic.Int64
-	rebuilds    atomic.Int64
-	overlay     atomic.Int64 // queries/batches served through an overlay view
-	passThrough atomic.Int64 // ... through a delta-free pass-through view
-	compactions atomic.Int64 // background delta merges via Compact
-	counts      exchCounters // per-direction rounds + bit-parallel hits
+	workers atomic.Int32
+
+	// met holds every engine counter/histogram as pre-registered
+	// series on one metrics.Registry (enginemetrics.go); EngineStats
+	// and the Prometheus exposition both read it, so /stats and
+	// /metrics can never disagree.
+	met *engineMetrics
 
 	// compactDelta is the NeedsCompaction watermark resolved from
 	// EngineConfig.CompactDelta (-1 = disabled).
@@ -364,9 +385,19 @@ func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
 	default:
 		e.compactDelta = -1
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	e.met = newEngineMetrics(reg)
+	e.met.registerSourced(e)
 	e.snapshot()
 	return e
 }
+
+// Metrics returns the registry carrying every engine series (the
+// backing store of both Stats and the Prometheus exposition).
+func (e *Engine) Metrics() *metrics.Registry { return e.met.reg }
 
 // SetWorkers overrides the batch worker-pool size; n < 1 restores the
 // default (GOMAXPROCS). It returns the receiver for chaining.
@@ -414,7 +445,7 @@ func (e *Engine) snapshot() *engineSnap {
 	vw, acyclic, epoch := e.g.SnapshotView()
 	s := &engineSnap{vw: vw, epoch: epoch, algo: e.s.algorithmFor(acyclic)}
 	e.snap.Store(s)
-	e.rebuilds.Add(1)
+	e.met.rebuilds.Inc()
 	return s
 }
 
@@ -437,11 +468,30 @@ func (e *Engine) Compact() bool {
 	if adds+removes == 0 {
 		return false
 	}
+	t0 := time.Now()
 	e.g.Freeze() // merge the delta into the base (incremental when it qualifies)
 	vw, acyclic, epoch := e.g.SnapshotView()
 	e.snap.Store(&engineSnap{vw: vw, epoch: epoch, algo: e.s.algorithmFor(acyclic)})
-	e.compactions.Add(1)
+	el := time.Since(t0)
+	e.met.compactions.Inc()
+	e.met.compactSeconds.ObserveDuration(el)
+	e.met.lastCompaction.Set(el.Seconds())
+	e.met.compactMerged.Add(int64(adds + removes))
 	return true
+}
+
+// compactHeadroom is the remaining pending-delta budget before the
+// compaction watermark (floored at 0), or -1 when the watermark is
+// disabled.
+func (e *Engine) compactHeadroom() int {
+	if e.compactDelta < 0 {
+		return -1
+	}
+	adds, removes := e.g.PendingDelta()
+	if h := e.compactDelta - (adds + removes); h > 0 {
+		return h
+	}
+	return 0
 }
 
 // NeedsCompaction reports whether the pending delta has crossed the
@@ -456,32 +506,63 @@ func (e *Engine) NeedsCompaction() bool {
 	return adds+removes > e.compactDelta
 }
 
+// solveTiming is the engine-side sink a traced query threads through
+// solveOne and its table helpers: the kernel trace the product kernels
+// fill, plus the table/kernel stage split and the table-cache verdict.
+// It is nil on every untraced path (the stage histograms are observed
+// directly against e.met there).
+type solveTiming struct {
+	kt       *kernelTrace
+	tableNs  int64
+	kernelNs int64
+	tableHit bool
+}
+
 // product builds the product view of a snapshot, carrying the partition
-// and the engine's direction/bit-hit counters into the kernels.
-func (e *Engine) product(snap *engineSnap, a *arena) product {
+// and the engine's kernel telemetry (and, when tracing, the per-query
+// trace sink) into the kernels.
+func (e *Engine) product(snap *engineSnap, a *arena, st *solveTiming) product {
 	p := makeProductView(snap.vw, e.s.Min, a)
-	p.counts = &e.counts
+	p.counts = &e.met.kernel
+	if st != nil {
+		p.tr = st.kt
+	}
 	return p
 }
 
 // Stats snapshots the engine's counters, including hit/miss/eviction
-// numbers for both cache tiers.
+// numbers for both cache tiers. Every value is read from the same
+// registry series the Prometheus exposition serves.
 func (e *Engine) Stats() EngineStats {
 	snap := e.snap.Load()
+	m := e.met
+	var queries int64
+	for a := 0; a < algoCount; a++ {
+		queries += m.queries[a].Value()
+	}
 	st := EngineStats{
-		Queries:          e.queries.Load(),
-		Batches:          e.batches.Load(),
-		BatchPairs:       e.batchPairs.Load(),
-		SnapshotRebuilds: e.rebuilds.Load(),
+		Queries:          queries,
+		Batches:          m.batches.Value(),
+		BatchPairs:       m.batchPairs.Value(),
+		SnapshotRebuilds: m.rebuilds.Value(),
 	}
 	st.FullFreezes, st.IncrementalFreezes = e.g.FreezeStats()
 	st.PendingAdds, st.PendingRemoves = e.g.PendingDelta()
-	st.OverlayReads = e.overlay.Load()
-	st.PassThroughReads = e.passThrough.Load()
-	st.Compactions = e.compactions.Load()
-	st.TopDownRounds = e.counts.topDown.Load()
-	st.BottomUpRounds = e.counts.bottomUp.Load()
-	st.BitParallelHits = e.counts.bitHits.Load()
+	st.OverlayReads = m.overlayReads.Value()
+	st.PassThroughReads = m.passThroughReads.Value()
+	st.Compactions = m.compactions.Value()
+	st.CompactionSeconds = m.compactSeconds.Sum()
+	st.LastCompactionSeconds = m.lastCompaction.Value()
+	st.CompactionMergedEdges = m.compactMerged.Value()
+	st.CompactWatermark = e.compactDelta
+	st.CompactHeadroom = e.compactHeadroom()
+	freezeTotal, freezeLast := e.g.FreezeTimings()
+	st.FreezeBuildSeconds = float64(freezeTotal) / 1e9
+	st.LastFreezeSeconds = float64(freezeLast) / 1e9
+	st.TopDownRounds = m.kernel.topDown.Value()
+	st.BottomUpRounds = m.kernel.bottomUp.Value()
+	st.DirectionSwitches = m.kernel.switches.Value()
+	st.BitParallelHits = m.kernel.bitHits.Value()
 	st.ExchangeRounds = st.TopDownRounds + st.BottomUpRounds
 	if snap != nil {
 		st.Epoch = snap.epoch
@@ -518,25 +599,104 @@ func (e *Engine) Exists(x, y int) bool {
 	return e.solve(x, y, true).Found
 }
 
+// SolveTraced answers like Solve and additionally returns the query's
+// per-stage, per-round breakdown — which tier ran, whether the
+// snapshot was an overlay, the result/table cache verdicts, the four
+// stage timings, and every kernel round with its direction, frontier
+// size and wall time. Tracing allocates (the recording itself), so it
+// is for slow-query debugging, not the steady-state hot path; the
+// returned trace is never nil.
+func (e *Engine) SolveTraced(x, y int) (Result, *QueryTrace) {
+	return e.run(x, y, false, true)
+}
+
 func (e *Engine) solve(x, y int, existsOnly bool) Result {
-	e.queries.Add(1)
+	res, _ := e.run(x, y, existsOnly, false)
+	return res
+}
+
+// run is the shared single-query path: stage-timed, per-tier counted,
+// optionally traced. The stage boundaries: "pin" covers snapshot
+// validation + re-pin, "cache" the result-cache lookup, "table" the
+// pruning-table cache traffic (lookup, export, insert), "kernel" the
+// backward product BFS / summary sweep / finite-tier search itself.
+func (e *Engine) run(x, y int, existsOnly, traced bool) (Result, *QueryTrace) {
+	m := e.met
+	t0 := time.Now()
 	snap := e.snapshot()
-	if snap.vw.Overlay() {
-		e.overlay.Add(1)
+	pin := time.Since(t0)
+	m.queries[snap.algo].Inc()
+	m.stagePin.ObserveDuration(pin)
+	overlay := snap.vw.Overlay()
+	if overlay {
+		m.overlayReads.Inc()
 	} else {
-		e.passThrough.Add(1)
+		m.passThroughReads.Inc()
+	}
+	var st *solveTiming
+	if traced {
+		st = &solveTiming{kt: &kernelTrace{}}
+	}
+	finish := func(res Result, cacheNs int64, cacheHit bool) (Result, *QueryTrace) {
+		total := time.Since(t0)
+		m.latency[snap.algo].ObserveDuration(total)
+		if !traced {
+			return res, nil
+		}
+		tr := &QueryTrace{
+			X:              x,
+			Y:              y,
+			Tier:           snap.algo.String(),
+			Epoch:          snap.epoch,
+			Overlay:        overlay,
+			ResultCacheHit: cacheHit,
+			TotalNanos:     total.Nanoseconds(),
+			Stages: []StageTiming{
+				{Stage: "pin", Nanos: pin.Nanoseconds()},
+				{Stage: "cache", Nanos: cacheNs},
+				{Stage: "table", Nanos: st.tableNs},
+				{Stage: "kernel", Nanos: st.kernelNs},
+			},
+		}
+		tr.TableCacheHit = st.tableHit
+		tr.BitParallel = st.kt.bitParallel
+		tr.TopDownRounds = st.kt.td
+		tr.BottomUpRounds = st.kt.bu
+		tr.DirectionSwitches = st.kt.sw
+		tr.Rounds = st.kt.rounds
+		return res, tr
 	}
 	if !validPair(snap.vw.NumVertices(), x, y) {
-		return Result{}
+		return finish(Result{}, 0, false)
 	}
-	if res, ok := e.cachedResult(snap.epoch, x, y, existsOnly); ok {
-		return res
+	c0 := time.Now()
+	res, ok := e.cachedResult(snap.epoch, x, y, existsOnly)
+	cacheDur := time.Since(c0)
+	m.stageCache.ObserveDuration(cacheDur)
+	if ok {
+		return finish(res, cacheDur.Nanoseconds(), true)
 	}
 	a := getArena()
-	res := e.solveOne(snap, a, x, y, existsOnly)
+	res = e.solveOne(snap, a, x, y, existsOnly, st)
 	a.release()
 	e.storeResult(snap.epoch, x, y, existsOnly, res)
-	return res
+	return finish(res, cacheDur.Nanoseconds(), false)
+}
+
+// observeKernel / observeTable credit one stage interval to the stage
+// histogram and, when tracing, the per-query sink.
+func (e *Engine) observeKernel(d time.Duration, st *solveTiming) {
+	e.met.stageKernel.ObserveDuration(d)
+	if st != nil {
+		st.kernelNs += d.Nanoseconds()
+	}
+}
+
+func (e *Engine) observeTable(d time.Duration, st *solveTiming) {
+	e.met.stageTable.ObserveDuration(d)
+	if st != nil {
+		st.tableNs += d.Nanoseconds()
+	}
 }
 
 // cachedResult consults the result cache. A full result satisfies an
@@ -579,37 +739,49 @@ func resultCost(res Result) int64 {
 
 // solveOne answers one in-range query against the snapshot, going
 // through the table cache for the y-side pruning table of the active
-// tier.
-func (e *Engine) solveOne(snap *engineSnap, a *arena, x, y int, existsOnly bool) Result {
+// tier. st is the trace sink, nil when untraced (the stage histograms
+// are observed either way).
+func (e *Engine) solveOne(snap *engineSnap, a *arena, x, y int, existsOnly bool, st *solveTiming) Result {
 	switch snap.algo {
 	case AlgoFinite:
-		// No y-side table to share: each word probe is a bounded DFS.
-		if e.s.words != nil {
-			return finiteWithWords(snap.vw, e.s.words, x, y)
+		// No y-side table to share: each word probe is a bounded DFS,
+		// timed wholesale as the kernel stage.
+		words := e.s.words
+		if words == nil {
+			words = finiteWords(e.s.Min)
 		}
-		return finiteWithWords(snap.vw, finiteWords(e.s.Min), x, y)
+		k0 := time.Now()
+		res := finiteWithWords(snap.vw, words, x, y)
+		e.observeKernel(time.Since(k0), st)
+		return res
 	case AlgoSubword, AlgoDAG:
 		if existsOnly {
-			return e.existsGoal(snap, a, x, y)
+			return e.existsGoal(snap, a, x, y, st)
 		}
-		v := e.goalViewFor(snap, a, y)
+		v := e.goalViewFor(snap, a, y, st)
 		return e.answerGoal(v, snap.algo, x, existsOnly)
 	case AlgoSummary:
-		return e.summarySolve(snap, x, y, existsOnly)
+		return e.summarySolve(snap, x, y, existsOnly, st)
 	default:
-		p := e.product(snap, a)
-		t := e.coTableFor(snap, &p, a, y)
-		return baselineWith(&p, a, e.s.Min, t, x, y, nil)
+		p := e.product(snap, a, st)
+		t := e.coTableFor(snap, &p, a, y, st)
+		k0 := time.Now()
+		res := baselineWith(&p, a, e.s.Min, t, x, y, nil)
+		e.observeKernel(time.Since(k0), st)
+		return res
 	}
 }
 
 // summarySolve walks the Ψtr sequences in order, reusing each
 // sequence's cached position-NFA co-reachability table when present.
-func (e *Engine) summarySolve(snap *engineSnap, x, y int, existsOnly bool) Result {
+// The skeleton search itself (ss.run) counts as kernel time.
+func (e *Engine) summarySolve(snap *engineSnap, x, y int, existsOnly bool, st *solveTiming) Result {
 	for si, seq := range e.s.Expr.Seqs {
-		ss := e.acquireSummary(snap, seq, si, y)
+		ss := e.acquireSummary(snap, seq, si, y, st)
 		ss.existsOnly = existsOnly
+		k0 := time.Now()
 		res := ss.run(x)
+		e.observeKernel(time.Since(k0), st)
 		ss.release()
 		if res.Found {
 			return res
@@ -620,19 +792,36 @@ func (e *Engine) summarySolve(snap *engineSnap, x, y int, existsOnly bool) Resul
 
 // acquireSummary readies a summary searcher for (sequence si, target
 // y), feeding its co-reachability table from — and back to — the table
-// cache. Both the single-query and the batch path go through here.
-func (e *Engine) acquireSummary(snap *engineSnap, seq *psitr.Sequence, si, y int) *seqSearcher {
+// cache. Both the single-query and the batch path go through here. On
+// a table miss the co-reachability sweep runs inside the acquire and
+// is timed as kernel; the cache traffic around it is timed as table.
+func (e *Engine) acquireSummary(snap *engineSnap, seq *psitr.Sequence, si, y int, st *solveTiming) *seqSearcher {
 	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: int32(si), shards: snap.shards(), kind: tableSeq}
+	t0 := time.Now()
 	var ext *coTable
 	if e.tables != nil {
 		if v, ok := e.tables.Get(key); ok {
 			ext = v.(*coTable)
 		}
 	}
-	ss := acquireSeqSearcherView(snap.vw, seq, y, false, ext, &e.counts)
-	if ext == nil && e.tables != nil && e.tables.Retainable(coTableCost(ss.n*ss.plan.posCount)) {
-		t := ss.exportCoReach()
-		e.tables.Put(key, t, t.cost())
+	e.observeTable(time.Since(t0), st)
+	if ext != nil && st != nil {
+		st.tableHit = true
+	}
+	var kt *kernelTrace
+	if st != nil {
+		kt = st.kt
+	}
+	k0 := time.Now()
+	ss := acquireSeqSearcherView(snap.vw, seq, y, false, ext, &e.met.kernel, kt)
+	if ext == nil {
+		e.observeKernel(time.Since(k0), st)
+		if e.tables != nil && e.tables.Retainable(coTableCost(ss.n*ss.plan.posCount)) {
+			t1 := time.Now()
+			t := ss.exportCoReach()
+			e.tables.Put(key, t, t.cost())
+			e.observeTable(time.Since(t1), st)
+		}
 	}
 	return ss
 }
@@ -650,21 +839,32 @@ type goalView struct {
 
 // goalViewFor returns the backward-BFS view for target y, serving the
 // cached table on hit and caching a freshly exported one on miss when
-// it is retainable.
-func (e *Engine) goalViewFor(snap *engineSnap, a *arena, y int) goalView {
+// it is retainable. The BFS is timed as kernel, the cache traffic as
+// table.
+func (e *Engine) goalViewFor(snap *engineSnap, a *arena, y int, st *solveTiming) goalView {
 	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, shards: snap.shards(), kind: tableGoal}
+	t0 := time.Now()
 	if e.tables != nil {
 		if v, ok := e.tables.Get(key); ok {
+			e.observeTable(time.Since(t0), st)
+			if st != nil {
+				st.tableHit = true
+			}
 			return goalView{t: v.(*goalTable)}
 		}
 	}
-	p := e.product(snap, a)
+	p := e.product(snap, a, st)
+	k0 := time.Now()
 	p.distToGoal(y, a)
+	e.observeKernel(time.Since(k0), st)
+	t1 := time.Now()
 	if e.tables != nil && e.tables.Retainable(goalTableCost(p.n*p.m)) {
 		t := exportGoalTable(&p, a)
 		e.tables.Put(key, t, t.cost())
+		e.observeTable(time.Since(t1), st)
 		return goalView{t: t}
 	}
+	e.observeTable(time.Since(t1), st)
 	return goalView{p: p, a: a}
 }
 
@@ -723,13 +923,19 @@ func (e *Engine) cachedGoalTable(snap *engineSnap, y int) *goalTable {
 // distToGoal, and feeds the baseline tier's co table cache. A cached
 // goal table (left by earlier witness queries on the same target) still
 // answers in O(1).
-func (e *Engine) existsGoal(snap *engineSnap, a *arena, x, y int) Result {
+func (e *Engine) existsGoal(snap *engineSnap, a *arena, x, y int, st *solveTiming) Result {
 	m, start := e.s.Min.NumStates, e.s.Min.Start
-	if t := e.cachedGoalTable(snap, y); t != nil {
+	t0 := time.Now()
+	t := e.cachedGoalTable(snap, y)
+	e.observeTable(time.Since(t0), st)
+	if t != nil {
+		if st != nil {
+			st.tableHit = true
+		}
 		return Result{Found: t.dist[x*m+start] >= 0}
 	}
-	p := e.product(snap, a)
-	if t := e.coTableFor(snap, &p, a, y); t != nil {
+	p := e.product(snap, a, st)
+	if t := e.coTableFor(snap, &p, a, y, st); t != nil {
 		return Result{Found: t.has(x*m + start)}
 	}
 	return Result{Found: a.co.has(p.id(x, start))}
@@ -737,20 +943,31 @@ func (e *Engine) existsGoal(snap *engineSnap, a *arena, x, y int) Result {
 
 // coTableFor returns the baseline co-reachability table for target y —
 // cached on hit, freshly cached on miss when retainable, or nil with
-// the table left in the arena (a.co) for baselineWith's fallback.
-func (e *Engine) coTableFor(snap *engineSnap, p *product, a *arena, y int) *coTable {
+// the table left in the arena (a.co) for baselineWith's fallback. The
+// sweep is timed as kernel, the cache traffic as table.
+func (e *Engine) coTableFor(snap *engineSnap, p *product, a *arena, y int, st *solveTiming) *coTable {
 	key := tableKey{epoch: snap.epoch, lang: e.s.id, y: int32(y), seq: -1, shards: snap.shards(), kind: tableCo}
+	t0 := time.Now()
 	if e.tables != nil {
 		if v, ok := e.tables.Get(key); ok {
+			e.observeTable(time.Since(t0), st)
+			if st != nil {
+				st.tableHit = true
+			}
 			return v.(*coTable)
 		}
 	}
+	k0 := time.Now()
 	p.coReach(y, a)
+	e.observeKernel(time.Since(k0), st)
+	t1 := time.Now()
 	if e.tables != nil && e.tables.Retainable(coTableCost(p.n*p.m)) {
 		t := exportCoTable(p, a)
 		e.tables.Put(key, t, t.cost())
+		e.observeTable(time.Since(t1), st)
 		return t
 	}
+	e.observeTable(time.Since(t1), st)
 	return nil
 }
 
@@ -776,13 +993,15 @@ func (e *Engine) BatchSolveExists(pairs []Pair) []bool {
 }
 
 func (e *Engine) batch(pairs []Pair, out []Result, found []bool) {
-	e.batches.Add(1)
-	e.batchPairs.Add(int64(len(pairs)))
+	e.met.batches.Inc()
+	e.met.batchPairs.Add(int64(len(pairs)))
+	t0 := time.Now()
 	snap := e.snapshot()
+	e.met.stagePin.ObserveDuration(time.Since(t0))
 	if snap.vw.Overlay() {
-		e.overlay.Add(1)
+		e.met.overlayReads.Inc()
 	} else {
-		e.passThrough.Add(1)
+		e.met.passThroughReads.Inc()
 	}
 	n := snap.vw.NumVertices()
 	existsOnly := found != nil
@@ -879,8 +1098,8 @@ func (e *Engine) solveGroup(snap *engineSnap, a *arena, grp *batchGroup, out []R
 				}
 				return
 			}
-			p := e.product(snap, a)
-			t := e.coTableFor(snap, &p, a, grp.y)
+			p := e.product(snap, a, nil)
+			t := e.coTableFor(snap, &p, a, grp.y, nil)
 			for j, x := range grp.xs {
 				if t != nil {
 					record(j, Result{Found: t.has(x*m + start)})
@@ -890,15 +1109,15 @@ func (e *Engine) solveGroup(snap *engineSnap, a *arena, grp *batchGroup, out []R
 			}
 			return
 		}
-		v := e.goalViewFor(snap, a, grp.y)
+		v := e.goalViewFor(snap, a, grp.y, nil)
 		for j, x := range grp.xs {
 			record(j, e.answerGoal(v, snap.algo, x, existsOnly))
 		}
 	case AlgoSummary:
 		e.batchSummary(snap, grp, out, found)
 	default:
-		p := e.product(snap, a)
-		t := e.coTableFor(snap, &p, a, grp.y)
+		p := e.product(snap, a, nil)
+		t := e.coTableFor(snap, &p, a, grp.y, nil)
 		for j, x := range grp.xs {
 			record(j, baselineWith(&p, a, e.s.Min, t, x, grp.y, nil))
 		}
@@ -916,7 +1135,7 @@ func (e *Engine) batchSummary(snap *engineSnap, grp *batchGroup, out []Result, f
 		if remaining == 0 {
 			break
 		}
-		ss := e.acquireSummary(snap, seq, si, grp.y)
+		ss := e.acquireSummary(snap, seq, si, grp.y, nil)
 		ss.existsOnly = existsOnly
 		for j, x := range grp.xs {
 			if answered[j] {

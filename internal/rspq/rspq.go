@@ -79,7 +79,8 @@ type product struct {
 	lmap []int16 // CSR label id -> DFA alphabet index, -1 when absent
 
 	sc     *graph.ShardedCSR // nil → sequential kernels
-	counts *exchCounters     // direction/bit-hit stats sink, may be nil
+	counts *exchCounters     // direction/bit-hit metrics sink, may be nil
+	tr     *kernelTrace      // opt-in per-query trace recording, may be nil
 }
 
 func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {

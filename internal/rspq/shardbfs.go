@@ -56,16 +56,6 @@ import (
 // also the on-ramp to the ROADMAP's multi-machine exchange: a remote
 // shard changes where an outbox is flushed, not the algorithm.
 
-// exchCounters splits the exchange round accounting by direction, plus
-// the bit-parallel fast-path hit count; an Engine owns one and wires it
-// into every product search it runs (EngineStats reports the fields,
-// with ExchangeRounds their sum).
-type exchCounters struct {
-	topDown  atomic.Int64
-	bottomUp atomic.Int64
-	bitHits  atomic.Int64
-}
-
 // exMsg is one cross-shard discovery of the distToGoal exchange: the
 // product id to settle, the successor it was reached from, and the
 // graph label of that step.
@@ -220,25 +210,14 @@ func parShards(W, K int, f func(s int)) {
 	wg.Wait()
 }
 
-// addRounds credits one exchange run's per-direction round counts to
-// the product's stats sink (an Engine counter when the search runs
-// under one).
-func (p *product) addRounds(td, bu int64) {
-	if p.counts == nil {
-		return
-	}
-	if td > 0 {
-		p.counts.topDown.Add(td)
-	}
-	if bu > 0 {
-		p.counts.bottomUp.Add(bu)
-	}
-}
-
-// addBitHit records one bit-parallel kernel dispatch.
+// addBitHit records one bit-parallel kernel dispatch in both telemetry
+// sinks (trace.go).
 func (p *product) addBitHit() {
 	if p.counts != nil {
-		p.counts.bitHits.Add(1)
+		p.counts.bitHits.Inc()
+	}
+	if p.tr != nil {
+		p.tr.bitParallel = true
 	}
 }
 
@@ -304,10 +283,15 @@ func (p *product) distToGoalSharded(y int, a *arena) {
 	}
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
-	var td, bu int64
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for d := int32(1); total > 0; d++ {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(nm))
+		if bottomUp != prev {
+			sw++
+		}
+		t0 := p.roundStart()
 		ex.clearAccum()
 		if bottomUp {
 			bu++
@@ -321,9 +305,10 @@ func (p *product) distToGoalSharded(y int, a *arena) {
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
+		p.roundEnd(t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	p.addRounds(td, bu)
+	p.runDone(td, bu, sw)
 	ex.release()
 }
 
@@ -477,10 +462,15 @@ func (p *product) coReachSharded(y int, a *arena) {
 	}
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
-	var td, bu int64
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
 	for total > 0 {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(nm))
+		if bottomUp != prev {
+			sw++
+		}
+		t0 := p.roundStart()
 		ex.clearAccum()
 		if bottomUp {
 			bu++
@@ -494,9 +484,10 @@ func (p *product) coReachSharded(y int, a *arena) {
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
+		p.roundEnd(t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	p.addRounds(td, bu)
+	p.runDone(td, bu, sw)
 	ex.release()
 }
 
@@ -611,10 +602,15 @@ func (ss *seqSearcher) computeCoReachSharded() {
 	}
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
-	var td, bu int64
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(ss.vw.NumEdges(), ss.n)
 	for total > 0 {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(ss.n*pc))
+		if bottomUp != prev {
+			sw++
+		}
+		t0 := roundStartTimed(ss.counts, ss.tr)
 		ex.clearAccum()
 		if bottomUp {
 			bu++
@@ -628,16 +624,10 @@ func (ss *seqSearcher) computeCoReachSharded() {
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
+		roundEndTimed(ss.counts, ss.tr, t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	if ss.counts != nil {
-		if td > 0 {
-			ss.counts.topDown.Add(td)
-		}
-		if bu > 0 {
-			ss.counts.bottomUp.Add(bu)
-		}
-	}
+	runDoneTimed(ss.counts, ss.tr, td, bu, sw)
 	ex.release()
 }
 

@@ -259,6 +259,7 @@ type seqSearcher struct {
 	// receives the per-direction exchange round counts when set.
 	sc     *graph.ShardedCSR
 	counts *exchCounters
+	tr     *kernelTrace
 	plan   *seqPlan
 	units  []unit // aliases plan.units
 
@@ -302,15 +303,16 @@ var seqSearcherPool = sync.Pool{New: func() any { return new(seqSearcher) }}
 // is supplied per run call, so batched queries sharing a target reuse
 // the table).
 func acquireSeqSearcher(g *graph.Graph, seq *psitr.Sequence, y int, shortest bool) *seqSearcher {
-	return acquireSeqSearcherView(g.PinView(), seq, y, shortest, nil, nil)
+	return acquireSeqSearcherView(g.PinView(), seq, y, shortest, nil, nil, nil)
 }
 
 // acquireSeqSearcherView is acquireSeqSearcher against an explicitly
 // pinned snapshot view (carrying its partition, when any), optionally
 // reusing a cached co-reachability table (ext) instead of recomputing
 // it — the summary tier's cross-query cache hit path. counts, when
-// non-nil, receives per-direction frontier-exchange round counts.
-func acquireSeqSearcherView(vw *graph.View, seq *psitr.Sequence, y int, shortest bool, ext *coTable, counts *exchCounters) *seqSearcher {
+// non-nil, receives per-direction round counts and round timings; tr,
+// when non-nil, records the per-round trace (trace.go).
+func acquireSeqSearcherView(vw *graph.View, seq *psitr.Sequence, y int, shortest bool, ext *coTable, counts *exchCounters, tr *kernelTrace) *seqSearcher {
 	sc := vw.Sharded()
 	ss := seqSearcherPool.Get().(*seqSearcher)
 	ss.vw = vw
@@ -337,6 +339,7 @@ func acquireSeqSearcherView(vw *graph.View, seq *psitr.Sequence, y int, shortest
 	ss.ext = ext
 	ss.sc = sc
 	ss.counts = counts
+	ss.tr = tr
 	if ext == nil {
 		if sc != nil && sc.NumShards() > 1 {
 			ss.computeCoReachSharded()
@@ -355,6 +358,7 @@ func (ss *seqSearcher) release() {
 	ss.ext = nil
 	ss.sc = nil
 	ss.counts = nil
+	ss.tr = nil
 	ss.existsOnly = false
 	seqSearcherPool.Put(ss)
 }
@@ -394,9 +398,21 @@ func (ss *seqSearcher) computeCoReach() {
 			unvisEdges -= int64(ss.vw.OutDegree(ss.y))
 		}
 	}
+	var td, bu, sw int64
 	bottomUp, dense := false, dirDense(ss.vw.NumEdges(), ss.n)
 	for len(cur) > 0 {
+		prev := bottomUp
 		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(ss.n*pc))
+		if bottomUp != prev {
+			sw++
+		}
+		if bottomUp {
+			bu++
+		} else {
+			td++
+		}
+		t0 := roundStartTimed(ss.counts, ss.tr)
+		front := len(cur)
 		frontEdges = 0
 		nxt = nxt[:0]
 		if bottomUp {
@@ -434,7 +450,9 @@ func (ss *seqSearcher) computeCoReach() {
 			}
 		}
 		cur, nxt = nxt, cur
+		roundEndTimed(ss.counts, ss.tr, t0, bottomUp, front)
 	}
+	runDoneTimed(ss.counts, ss.tr, td, bu, sw)
 	ss.queue, ss.queue2 = cur[:0], nxt[:0]
 }
 

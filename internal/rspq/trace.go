@@ -1,0 +1,151 @@
+package rspq
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// This file is the per-query telemetry layer. Two sinks ride the same
+// kernel hooks:
+//
+//   - exchCounters: pre-registered metrics handles (counters for
+//     rounds / direction switches / bit-parallel dispatches,
+//     histograms for per-round wall time) that an Engine wires into
+//     every product search and summary sweep it runs. Updates are
+//     atomic adds — no locks, no allocation — so the instrumented
+//     kernels keep their allocation contracts.
+//   - kernelTrace: an opt-in per-query recording (round-by-round
+//     direction, frontier size and wall time) that Engine.SolveTraced
+//     assembles into the public QueryTrace. It allocates, so it is
+//     nil on every path except an explicit trace request.
+//
+// Both sinks may be nil; package-level entry points (SolveExists,
+// ExistsWalk, BatchSolver) run with neither and pay only a pair of
+// nil checks per round.
+
+// StageTiming is one engine stage of a traced query: stage is one of
+// "pin" (snapshot pin + validation), "cache" (result-cache lookup),
+// "table" (pruning-table acquisition outside the kernel), "kernel"
+// (the backward product BFS / summary sweep itself).
+type StageTiming struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// RoundTrace is one kernel round of a traced query: the direction the
+// α/β heuristic picked, the frontier size entering the round, and the
+// round's wall time.
+type RoundTrace struct {
+	Dir      string `json:"dir"` // "top_down" | "bottom_up"
+	Frontier int    `json:"frontier"`
+	Nanos    int64  `json:"nanos"`
+}
+
+// QueryTrace is the per-stage, per-round breakdown of one traced query
+// (Engine.SolveTraced, or ?trace=1 on rspqd's /query). Rounds is empty
+// when the query never ran a kernel (result-cache hit, invalid pair,
+// or a tier that answers without a product sweep).
+type QueryTrace struct {
+	X                 int           `json:"x"`
+	Y                 int           `json:"y"`
+	Tier              string        `json:"tier"`
+	Epoch             uint64        `json:"epoch"`
+	Overlay           bool          `json:"overlay"`
+	ResultCacheHit    bool          `json:"result_cache_hit"`
+	TableCacheHit     bool          `json:"table_cache_hit"`
+	BitParallel       bool          `json:"bit_parallel"`
+	TopDownRounds     int64         `json:"top_down_rounds"`
+	BottomUpRounds    int64         `json:"bottom_up_rounds"`
+	DirectionSwitches int64         `json:"direction_switches"`
+	Stages            []StageTiming `json:"stages"`
+	Rounds            []RoundTrace  `json:"rounds"`
+	TotalNanos        int64         `json:"total_nanos"`
+}
+
+// kernelTrace is the kernel-side accumulator behind a QueryTrace.
+type kernelTrace struct {
+	rounds      []RoundTrace
+	td, bu, sw  int64
+	bitParallel bool
+}
+
+// exchCounters bundles the pre-registered kernel metrics an Engine
+// wires into every search: per-direction round counters and round-time
+// histograms, the direction-switch counter and the bit-parallel
+// dispatch counter. A nil *exchCounters (the package-level query
+// paths) disables all of it. When non-nil, every field is set — the
+// Engine registers them together.
+type exchCounters struct {
+	topDown  *metrics.Counter
+	bottomUp *metrics.Counter
+	switches *metrics.Counter
+	bitHits  *metrics.Counter
+	roundTD  *metrics.Histogram
+	roundBU  *metrics.Histogram
+}
+
+// roundStartTimed begins timing one kernel round; it returns the zero
+// time (without reading the clock) when neither sink wants it.
+func roundStartTimed(counts *exchCounters, tr *kernelTrace) time.Time {
+	if counts == nil && tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// roundEndTimed finishes one kernel round: the wall time goes into the
+// per-direction histogram and, when tracing, a RoundTrace with the
+// frontier size the round started from.
+func roundEndTimed(counts *exchCounters, tr *kernelTrace, t0 time.Time, bottomUp bool, frontier int) {
+	if counts == nil && tr == nil {
+		return
+	}
+	el := time.Since(t0)
+	if counts != nil {
+		if bottomUp {
+			counts.roundBU.ObserveDuration(el)
+		} else {
+			counts.roundTD.ObserveDuration(el)
+		}
+	}
+	if tr != nil {
+		dir := "top_down"
+		if bottomUp {
+			dir = "bottom_up"
+		}
+		tr.rounds = append(tr.rounds, RoundTrace{Dir: dir, Frontier: frontier, Nanos: el.Nanoseconds()})
+	}
+}
+
+// runDoneTimed credits one finished search's round totals and
+// direction-switch count to both sinks.
+func runDoneTimed(counts *exchCounters, tr *kernelTrace, td, bu, sw int64) {
+	if counts != nil {
+		if td > 0 {
+			counts.topDown.Add(td)
+		}
+		if bu > 0 {
+			counts.bottomUp.Add(bu)
+		}
+		if sw > 0 {
+			counts.switches.Add(sw)
+		}
+	}
+	if tr != nil {
+		tr.td += td
+		tr.bu += bu
+		tr.sw += sw
+	}
+}
+
+// product-side wrappers (the summary sweep calls the package forms
+// with its own sinks).
+
+func (p *product) roundStart() time.Time { return roundStartTimed(p.counts, p.tr) }
+
+func (p *product) roundEnd(t0 time.Time, bottomUp bool, frontier int) {
+	roundEndTimed(p.counts, p.tr, t0, bottomUp, frontier)
+}
+
+func (p *product) runDone(td, bu, sw int64) { runDoneTimed(p.counts, p.tr, td, bu, sw) }

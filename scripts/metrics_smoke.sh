@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# metrics_smoke.sh: end-to-end observability smoke test. Builds rspqd,
+# starts it on a random demo graph, answers one query, and asserts the
+# /metrics exposition reports it (nonzero rspq_queries_total) and that
+# /stats agrees. Exercises the whole chain: engine registry -> kernel
+# telemetry -> HTTP exposition.
+set -euo pipefail
+
+ADDR="127.0.0.1:18321"
+BIN="$(mktemp -d)/rspqd"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/rspqd
+
+"$BIN" -addr "$ADDR" -gen 200 -pattern 'a*(bb+|())c*' -slow-query 1s >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "metrics_smoke: rspqd died during startup" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+curl -fsS -X POST "http://$ADDR/query" -d '{"x":0,"y":3}' >/dev/null
+curl -fsS -X POST "http://$ADDR/query?trace=1" -d '{"x":1,"y":5}' | grep -q '"trace"' || {
+    echo "metrics_smoke: traced query returned no trace" >&2
+    exit 1
+}
+
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -Eq '^rspq_queries_total\{[^}]*\} [1-9]' || {
+    echo "metrics_smoke: /metrics reports no answered queries" >&2
+    echo "$METRICS" | head -40 >&2
+    exit 1
+}
+echo "$METRICS" | grep -Eq '^rspqd_http_requests_total\{[^}]*endpoint="query"[^}]*\} [1-9]' || {
+    echo "metrics_smoke: /metrics reports no HTTP query requests" >&2
+    exit 1
+}
+
+QUERIES_STATS="$(curl -fsS "http://$ADDR/stats" | sed -n 's/.*"queries":\([0-9]*\).*/\1/p')"
+QUERIES_PROM="$(echo "$METRICS" | awk '/^rspq_queries_total\{/ { s += $2 } END { print s }')"
+if [ "$QUERIES_STATS" != "$QUERIES_PROM" ]; then
+    echo "metrics_smoke: /stats queries=$QUERIES_STATS disagrees with /metrics sum=$QUERIES_PROM" >&2
+    exit 1
+fi
+
+echo "metrics_smoke: ok (queries=$QUERIES_PROM, /stats agrees)"
