@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json bench-shard bench-flood bench-overlay metrics-smoke serve docs
+.PHONY: check build vet test race fuzz-persist bench bench-smoke bench-json bench-shard bench-flood bench-overlay bench-snap metrics-smoke restart-smoke serve docs
 
 check: build vet test race
 
@@ -14,7 +14,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/graph/ ./internal/cache/ ./internal/metrics/ ./internal/rspq/
+	$(GO) test -race ./internal/graph/ ./internal/cache/ ./internal/metrics/ ./internal/rspq/ ./internal/persist/ ./cmd/rspqd/
+
+# fuzz-persist: a short deterministic pass over the persistence-format
+# fuzzers (snapshot decode + WAL replay) — corpus + 10s of new inputs
+# each, the CI fuzz smoke test. `go test -fuzz` accepts one target per
+# run, hence the two invocations.
+fuzz-persist:
+	$(GO) test ./internal/persist/ -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s
+	$(GO) test ./internal/persist/ -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -43,11 +51,25 @@ bench-flood:
 bench-overlay:
 	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-overlay.json -workloads overlay
 
+# bench-snap: the durability boot-path workloads (warm boot off a
+# mapped snapshot, with and without a 10k-op WAL tail, vs a cold
+# rebuild) on a 1M-edge graph — the CI persistence smoke test. The
+# layer's bar: snap-load beats cold-rebuild to the first query by ≥5x.
+bench-snap:
+	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-snap.json -workloads snap
+
 # metrics-smoke: boot rspqd, answer a query, and assert the /metrics
 # exposition reports it and agrees with /stats — the CI observability
 # smoke test.
 metrics-smoke:
 	bash scripts/metrics_smoke.sh
+
+# restart-smoke: boot rspqd with a data dir, mutate the graph over
+# HTTP, kill -9 the process, reboot on the same dir and assert the
+# recovered epoch/edge count/query answers match — the CI durability
+# smoke test.
+restart-smoke:
+	bash scripts/restart_smoke.sh
 
 serve:
 	$(GO) run ./cmd/rspqd -gen 400 -pattern 'a*(bb+|())c*'

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/rspq"
 )
 
@@ -98,6 +99,89 @@ func workloadGroups() []workloadGroup {
 		{"shard", shardWorkloads},
 		{"flood", floodWorkloads},
 		{"overlay", overlayWorkloads},
+		{"snap", snapWorkloads},
+	}
+}
+
+// snapWorkloads measures the durability boot paths on a 1M-edge graph:
+// snap-load is a full warm boot off a checkpointed data dir (mmap the
+// snapshot, adopt the CSR, answer the first query), wal-replay is the
+// same boot with a 10k-op un-checkpointed WAL tail to replay, and
+// cold-rebuild is what a boot without a snapshot pays — regenerate the
+// graph and freeze it before the first answer. The acceptance bar of
+// the persistence layer is snap-load beating cold-rebuild to the first
+// query by ≥5×.
+func snapWorkloads() []workload {
+	s := mustSolver("ab|ba|aab")
+	buildGraph := func() *graph.Graph {
+		g, _ := graph.StreamingWorkload(1_000_000, 0, 91)
+		g.Freeze()
+		return g
+	}
+	g := buildGraph()
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(13))
+	qx, qy := rng.Intn(n), rng.Intn(n)
+	mustOpen := func(opts persist.Options) (*persist.DB, *graph.Graph) {
+		db, bg, err := persist.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		return db, bg
+	}
+	checkpointedDir := func(tail int) string {
+		dir, err := os.MkdirTemp("", "rspqbench-snap")
+		if err != nil {
+			panic(err)
+		}
+		db, bg := mustOpen(persist.Options{Dir: dir, Bootstrap: func() (*graph.Graph, error) { return buildGraph(), nil }})
+		// Leave `tail` effective single-op batches in the WAL,
+		// un-checkpointed, for the replay row.
+		trng := rand.New(rand.NewSource(37))
+		for logged := 0; logged < tail; {
+			from, to := trng.Intn(n), trng.Intn(n)
+			if bg.HasEdge(from, 'a', to) {
+				continue
+			}
+			ops := []persist.Op{{Kind: persist.OpAddEdge, From: from, Label: 'a', To: to}}
+			if _, err := db.LogBatch(ops); err != nil {
+				panic(err)
+			}
+			if _, err := persist.ApplyOps(bg, ops); err != nil {
+				panic(err)
+			}
+			logged++
+		}
+		if err := db.Close(); err != nil {
+			panic(err)
+		}
+		return dir
+	}
+	noBootstrap := func() (*graph.Graph, error) {
+		return nil, fmt.Errorf("snap workload expected a warm boot")
+	}
+	warmBoot := func(dir string) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db, bg := mustOpen(persist.Options{Dir: dir, Bootstrap: noBootstrap})
+				s.Solve(bg, qx, qy)
+				if err := db.Close(); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	dirSnap := checkpointedDir(0)
+	dirTail := checkpointedDir(10_000)
+	return []workload{
+		{"snap-load/m=1M", warmBoot(dirSnap)},
+		{"wal-replay/m=1M-tail=10k", warmBoot(dirTail)},
+		{"cold-rebuild/m=1M", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cg := buildGraph()
+				s.Solve(cg, qx, qy)
+			}
+		}},
 	}
 }
 

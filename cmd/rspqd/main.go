@@ -79,6 +79,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/persist"
 	"repro/internal/rspq"
 )
 
@@ -97,6 +98,12 @@ type server struct {
 	started time.Time
 
 	reg *metrics.Registry // shared engine+transport registry, served by /metrics
+
+	// db, when non-nil, is the durability layer (-data-dir): mutation
+	// handlers append each effective batch to its write-ahead log
+	// before touching the graph, and compactions/shutdown publish
+	// snapshot checkpoints through it.
+	db *persist.DB
 
 	slowQuery     time.Duration // log requests at/above this; 0 disables
 	maxInflight   int64         // /batch admission bound on in-flight pairs; 0 = unbounded
@@ -283,8 +290,33 @@ func (s *server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex out of range [0,%d)", n))
 		return
 	}
-	s.g.AddEdge(req.From, req.Label[0], req.To)
+	if !s.g.HasEdge(req.From, req.Label[0], req.To) {
+		// Write-ahead: the insert is acknowledged only once its WAL
+		// record is durable (per the -fsync policy). A duplicate add is
+		// a no-op and is neither logged nor applied, so replay sees
+		// exactly the effective mutations and reproduces the epoch.
+		if !s.logOps(w, []persist.Op{{Kind: persist.OpAddEdge, From: req.From, Label: req.Label[0], To: req.To}}) {
+			return
+		}
+		s.g.AddEdge(req.From, req.Label[0], req.To)
+	}
 	writeJSON(w, map[string]any{"epoch": s.g.Epoch(), "edges": s.g.NumEdges()})
+}
+
+// logOps appends one effective mutation batch to the WAL when
+// persistence is on; on failure it answers 503 (the mutation must not
+// be applied or acknowledged) and reports false. Callers hold the
+// write lock.
+func (s *server) logOps(w http.ResponseWriter, ops []persist.Op) bool {
+	if s.db == nil || len(ops) == 0 {
+		return true
+	}
+	if _, err := s.db.LogBatch(ops); err != nil {
+		log.Printf("rspqd: wal append: %v", err)
+		httpError(w, http.StatusServiceUnavailable, "write-ahead log append failed: "+err.Error())
+		return false
+	}
+	return true
 }
 
 // edgesRequest is one bulk delta: edges to add and edges to remove,
@@ -326,17 +358,44 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Reduce the batch to its effective ops — adds that will insert
+	// (not present, not already added earlier in this batch) and
+	// removes that will hit (present or just added, not already removed
+	// in this batch) — then write-ahead log exactly those before
+	// applying. Replaying the log therefore reproduces both the edge
+	// set and the mutation epoch: no-ops never reach either timeline.
+	type edgeKey struct {
+		from, to int
+		label    byte
+	}
+	var ops []persist.Op
+	added := make(map[edgeKey]bool)
 	var resp edgesResponse
 	for _, e := range req.Add {
-		if !s.g.HasEdge(e.From, e.Label[0], e.To) {
-			s.g.AddEdge(e.From, e.Label[0], e.To)
+		k := edgeKey{e.From, e.To, e.Label[0]}
+		if !added[k] && !s.g.HasEdge(e.From, e.Label[0], e.To) {
+			added[k] = true
+			ops = append(ops, persist.Op{Kind: persist.OpAddEdge, From: e.From, Label: e.Label[0], To: e.To})
 			resp.Added++
 		}
 	}
+	removed := make(map[edgeKey]bool)
 	for _, e := range req.Remove {
-		if s.g.RemoveEdge(e.From, e.Label[0], e.To) {
+		k := edgeKey{e.From, e.To, e.Label[0]}
+		present := added[k] || s.g.HasEdge(e.From, e.Label[0], e.To)
+		if present && !removed[k] {
+			removed[k] = true
+			ops = append(ops, persist.Op{Kind: persist.OpRemoveEdge, From: e.From, Label: e.Label[0], To: e.To})
 			resp.Removed++
 		}
+	}
+	if !s.logOps(w, ops) {
+		return
+	}
+	if _, err := persist.ApplyOps(s.g, ops); err != nil {
+		// Cannot happen for ops validated above; fail loudly if it does.
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
 	}
 	resp.Epoch = s.g.Epoch()
 	resp.Edges = s.g.NumEdges()
@@ -349,6 +408,9 @@ type statsResponse struct {
 	Edges         int              `json:"edges"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Engine        rspq.EngineStats `json:"engine"`
+	// Persist mirrors the rspq_wal_*/rspq_recovery_*/rspq_checkpoint_*
+	// series on /metrics; omitted when -data-dir is off.
+	Persist *persist.Stats `json:"persist,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -358,13 +420,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		Pattern:       s.pattern,
 		Vertices:      s.g.NumVertices(),
 		Edges:         s.g.NumEdges(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Engine:        s.eng.Stats(),
-	})
+	}
+	if s.db != nil {
+		st := s.db.Stats()
+		resp.Persist = &st
+	}
+	writeJSON(w, resp)
 }
 
 // healthzResponse is the liveness probe payload: enough to tell what
@@ -384,6 +451,12 @@ type healthzResponse struct {
 	Shards         int     `json:"shards"`
 	ShardsAdaptive bool    `json:"shards_adaptive"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
+	// Durability state: whether -data-dir is on, whether this boot
+	// recovered from a snapshot, and the last acknowledged WAL
+	// sequence number — restart_smoke.sh asserts these across kill -9.
+	Durable   bool   `json:"durable"`
+	WarmStart bool   `json:"warm_start"`
+	WALSeq    uint64 `json:"wal_seq"`
 }
 
 // buildRevision reports the VCS revision baked into the binary, "" for
@@ -407,7 +480,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	adds, removes := s.g.PendingDelta()
-	writeJSON(w, healthzResponse{
+	resp := healthzResponse{
 		Status:         "ok",
 		GoVersion:      runtime.Version(),
 		Revision:       buildRevision(),
@@ -420,7 +493,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shards:         s.g.ShardCount(),
 		ShardsAdaptive: s.eng.ShardsAdaptive(),
 		UptimeSeconds:  time.Since(s.started).Seconds(),
-	})
+	}
+	if s.db != nil {
+		resp.Durable = true
+		resp.WarmStart = s.db.WarmStart()
+		resp.WALSeq = s.db.LastSeq()
+	}
+	writeJSON(w, resp)
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
@@ -467,6 +546,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	slowQuery := flag.Duration("slow-query", 0, "log requests taking at least this long (0 disables)")
 	maxInflight := flag.Int64("max-inflight", 0, "reject /batch with 429 when admitted in-flight pairs would exceed this (0 = unbounded)")
+	dataDir := flag.String("data-dir", "", "durable data directory (snapshot + write-ahead log); warm-boots from it when a snapshot exists, empty disables persistence")
+	fsyncPolicy := flag.String("fsync", "batch", `WAL fsync policy: "batch" (fsync every acknowledged batch), "off", or a group-commit window duration like "5ms"`)
 	flag.Parse()
 
 	if *pattern == "" || (*graphPath == "" && *gen <= 0) {
@@ -475,32 +556,72 @@ func main() {
 		os.Exit(2)
 	}
 
+	// loadGraph is the cold path: parse -graph or generate -gen. With
+	// -data-dir it becomes the persist bootstrap, which only runs when
+	// no snapshot exists yet — a warm boot maps the snapshot and
+	// replays the WAL tail instead.
+	loadGraph := func() (*graph.Graph, error) {
+		if *graphPath != "" {
+			f, err := os.Open(*graphPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return graph.ReadText(f)
+		}
+		return graph.RandomRegular(*gen, []byte(*genLabels), 3, *seed), nil
+	}
+
+	cfg := rspq.EngineConfig{
+		TableBytes:   *tableBytes,
+		ResultBytes:  *resultBytes,
+		Workers:      *workers,
+		Shards:       *shards,
+		CompactDelta: *compactDelta,
+	}
 	var g *graph.Graph
-	if *graphPath != "" {
-		f, err := os.Open(*graphPath)
+	var db *persist.DB
+	if *dataDir != "" {
+		policy, err := persist.ParseSyncPolicy(*fsyncPolicy)
 		if err != nil {
 			log.Fatalf("rspqd: %v", err)
 		}
-		g, err = graph.ReadText(f)
-		f.Close()
+		cfg.Metrics = metrics.NewRegistry()
+		db, g, err = persist.Open(persist.Options{
+			Dir:       *dataDir,
+			Sync:      policy,
+			Bootstrap: loadGraph,
+			Metrics:   cfg.Metrics,
+		})
 		if err != nil {
-			log.Fatalf("rspqd: %v", err)
+			log.Fatalf("rspqd: open %s: %v", *dataDir, err)
 		}
+		gp := g
+		cfg.Checkpoint = func() {
+			if err := db.Checkpoint(gp); err != nil {
+				log.Printf("rspqd: checkpoint: %v", err)
+			}
+		}
+		st := db.Stats()
+		boot := "cold bootstrap"
+		if db.WarmStart() {
+			boot = fmt.Sprintf("warm boot (+%d WAL records)", st.WALReplayed)
+		}
+		log.Printf("rspqd: %s from %s in %.3fs (fsync=%s, wal seq %d)",
+			boot, *dataDir, st.RecoverySeconds, st.Fsync, st.WALSeq)
 	} else {
-		g = graph.RandomRegular(*gen, []byte(*genLabels), 3, *seed)
+		var err error
+		if g, err = loadGraph(); err != nil {
+			log.Fatalf("rspqd: %v", err)
+		}
 	}
 
 	s, err := rspq.NewSolver(*pattern)
 	if err != nil {
 		log.Fatalf("rspqd: compile %q: %v", *pattern, err)
 	}
-	srv := newServer(s, g, *pattern, rspq.EngineConfig{
-		TableBytes:   *tableBytes,
-		ResultBytes:  *resultBytes,
-		Workers:      *workers,
-		Shards:       *shards,
-		CompactDelta: *compactDelta,
-	})
+	srv := newServer(s, g, *pattern, cfg)
+	srv.db = db
 	srv.slowQuery = *slowQuery
 	srv.maxInflight = *maxInflight
 	if *debugAddr != "" {
@@ -555,6 +676,21 @@ func main() {
 		log.Printf("rspqd: drain: %v", err)
 	}
 	compactor.Wait() // the compaction goroutine finishes its cycle and exits
+	if db != nil {
+		// Fold the WAL tail into a final snapshot so the next boot maps
+		// one file and replays nothing; with a group-commit window the
+		// checkpoint also makes the last acknowledged batches durable.
+		srv.mu.Lock()
+		if db.Dirty() {
+			if err := db.Checkpoint(g); err != nil {
+				log.Printf("rspqd: final checkpoint: %v", err)
+			}
+		}
+		srv.mu.Unlock()
+		if err := db.Close(); err != nil {
+			log.Printf("rspqd: close data dir: %v", err)
+		}
+	}
 	adds, removes := g.PendingDelta()
 	log.Printf("rspqd: drained; exiting with delta (%d adds, %d removes) pending", adds, removes)
 }

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+	"repro/internal/rspq"
+)
+
+func getJSON(t *testing.T, url string, dst any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+// durableServer builds a server over a persist.DB exactly as main()
+// wires one with -data-dir: metrics shared, compaction checkpoints,
+// write-ahead handlers.
+func durableServer(t *testing.T, dir string) (*server, *httptest.Server, *persist.DB) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	db, g, err := persist.Open(persist.Options{
+		Dir: dir,
+		Bootstrap: func() (*graph.Graph, error) {
+			gg := graph.New(4)
+			gg.AddEdge(0, 'a', 1)
+			gg.AddEdge(1, 'b', 2)
+			gg.AddEdge(2, 'b', 3)
+			return gg, nil
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rspq.EngineConfig{Metrics: reg}
+	cfg.Checkpoint = func() {
+		if err := db.Checkpoint(g); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	}
+	s, err := rspq.NewSolver("a*(bb+|())c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(s, g, "a*(bb+|())c*", cfg)
+	srv.db = db
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts, db
+}
+
+// TestDurableRestart drives the full serving path across a simulated
+// crash: mutations through the HTTP handlers are write-ahead logged,
+// the process "dies" without a final checkpoint (Close only), and the
+// rebooted server must answer identically — same epoch, same edges,
+// same query results, warm_start set.
+func TestDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1, db1 := durableServer(t, dir)
+	if db1.WarmStart() {
+		t.Fatal("first boot must be cold")
+	}
+
+	// A mix of effective and no-op mutations: the duplicate add and the
+	// absent remove must reach neither the WAL nor the epoch.
+	postJSON(t, ts1.URL+"/edge", `{"from":3,"label":"c","to":0}`, nil)
+	postJSON(t, ts1.URL+"/edge", `{"from":3,"label":"c","to":0}`, nil) // duplicate: no-op
+	postJSON(t, ts1.URL+"/edges", `{"add":[{"from":2,"label":"c","to":0},{"from":2,"label":"c","to":0}],"remove":[{"from":0,"label":"a","to":1},{"from":3,"label":"a","to":3}]}`, nil)
+
+	var h1 healthzResponse
+	getJSON(t, ts1.URL+"/healthz", &h1)
+	if !h1.Durable || h1.WarmStart {
+		t.Fatalf("healthz before crash: %+v", h1)
+	}
+	var q1 queryResponse
+	postJSON(t, ts1.URL+"/query", `{"x":3,"y":0}`, &q1)
+
+	var st1 statsResponse
+	getJSON(t, ts1.URL+"/stats", &st1)
+	if st1.Persist == nil || st1.Persist.WALAppends != 2 {
+		t.Fatalf("persist stats before crash: %+v", st1.Persist)
+	}
+	// /stats and /metrics read the same atomics and must agree.
+	m := scrape(t, ts1.URL)
+	for name, want := range map[string]float64{
+		"rspq_wal_appends_total":  float64(st1.Persist.WALAppends),
+		"rspq_wal_replayed_total": float64(st1.Persist.WALReplayed),
+		"rspq_checkpoints_total":  float64(st1.Persist.Checkpoints),
+		"rspq_wal_seq":            float64(st1.Persist.WALSeq),
+		"rspq_snapshot_seq":       float64(st1.Persist.SnapshotSeq),
+		"rspq_recovery_seconds":   st1.Persist.RecoverySeconds,
+		"rspq_checkpoint_seconds": st1.Persist.LastCheckpointSeconds,
+	} {
+		if m[name] != want {
+			t.Fatalf("%s: /metrics says %v, /stats says %v", name, m[name], want)
+		}
+	}
+
+	// Crash: release the files without checkpointing the WAL tail.
+	ts1.Close()
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := srv1.g
+
+	srv2, ts2, db2 := durableServer(t, dir)
+	if !db2.WarmStart() {
+		t.Fatal("second boot must be warm")
+	}
+	var h2 healthzResponse
+	getJSON(t, ts2.URL+"/healthz", &h2)
+	if !h2.Durable || !h2.WarmStart {
+		t.Fatalf("healthz after reboot: %+v", h2)
+	}
+	if h2.Epoch != h1.Epoch || h2.Edges != h1.Edges || h2.Vertices != h1.Vertices {
+		t.Fatalf("recovered epoch/edges/vertices = %d/%d/%d, want %d/%d/%d",
+			h2.Epoch, h2.Edges, h2.Vertices, h1.Epoch, h1.Edges, h1.Vertices)
+	}
+	if !graph.EdgeSetEqual(oracle, srv2.g) {
+		t.Fatal("recovered graph differs from pre-crash graph")
+	}
+	var q2 queryResponse
+	postJSON(t, ts2.URL+"/query", `{"x":3,"y":0}`, &q2)
+	if q2.Found != q1.Found {
+		t.Fatalf("query(3,0) after reboot: found=%v, want %v", q2.Found, q1.Found)
+	}
+
+	// A compaction on the recovered server must checkpoint: WAL
+	// truncated, snapshot sequence caught up.
+	postJSON(t, ts2.URL+"/edge", `{"from":1,"label":"c","to":2}`, nil)
+	srv2.mu.Lock()
+	srv2.eng.Compact()
+	srv2.mu.Unlock()
+	var st2 statsResponse
+	getJSON(t, ts2.URL+"/stats", &st2)
+	if st2.Persist == nil || st2.Persist.Checkpoints == 0 {
+		t.Fatalf("compaction did not checkpoint: %+v", st2.Persist)
+	}
+	if st2.Persist.SnapshotSeq != st2.Persist.WALSeq {
+		t.Fatalf("snapshot seq %d behind wal seq %d after checkpoint",
+			st2.Persist.SnapshotSeq, st2.Persist.WALSeq)
+	}
+	if db2.Dirty() {
+		t.Fatal("db dirty after checkpoint")
+	}
+}
+
+// TestDurableRestartAfterCheckpoint pins the other recovery path: the
+// tail was checkpointed, so the reboot replays zero WAL records and
+// everything comes from the mapped snapshot.
+func TestDurableRestartAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1, db1 := durableServer(t, dir)
+	postJSON(t, ts1.URL+"/edge", `{"from":3,"label":"c","to":0}`, nil)
+	srv1.mu.Lock()
+	if err := db1.Checkpoint(srv1.g); err != nil {
+		t.Fatal(err)
+	}
+	srv1.mu.Unlock()
+	wantEpoch, wantEdges := srv1.g.Epoch(), srv1.g.NumEdges()
+	ts1.Close()
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2, db2 := durableServer(t, dir)
+	if !db2.WarmStart() {
+		t.Fatal("want warm boot")
+	}
+	if st := db2.Stats(); st.WALReplayed != 0 {
+		t.Fatalf("replayed %d records, want 0", st.WALReplayed)
+	}
+	var h healthzResponse
+	getJSON(t, ts2.URL+"/healthz", &h)
+	if h.Epoch != wantEpoch || h.Edges != wantEdges {
+		t.Fatalf("recovered epoch/edges = %d/%d, want %d/%d", h.Epoch, h.Edges, wantEpoch, wantEdges)
+	}
+}

@@ -144,6 +144,12 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("query during steady state failed: %v", err)
 	}
 
+	// Drop the client's keep-alive pool before draining: the transport
+	// may have dialed a speculative connection that never carried a
+	// request, which parks server-side in StateNew — and Shutdown waits
+	// for those until the drain deadline (golang.org/issue/22682).
+	client.CloseIdleConnections()
+
 	// The drain sequence of main(): stop the compactor, shut the server
 	// down with a deadline, then wait for the goroutine.
 	stop()

@@ -1,0 +1,64 @@
+// Package persist makes the serving stack restartable: it writes the
+// graph's frozen CSR as an mmap-able snapshot (format.go), records
+// every mutation batch in a checksummed write-ahead log (wal.go), and
+// recovers the pair into a warm graph after a crash or restart (db.go).
+// Snapshot bytes are the CSR's in-memory arrays verbatim, so loading a
+// checkpoint is a map + validate, not a parse.
+package persist
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// The snapshot format is little-endian on disk. On a little-endian
+// host (every platform this repo targets in practice) the CSR's int32
+// arrays can therefore be written and mapped back as raw bytes with no
+// per-element conversion; the cast helpers below do that when the
+// backing bytes are 4-byte aligned, and fall back to an explicit
+// element-wise copy otherwise (big-endian host, or a reader handing us
+// unaligned bytes). Callers never see the difference — only the
+// zero-copy property does.
+var hostLittleEndian = func() bool {
+	var probe [2]byte
+	binary.NativeEndian.PutUint16(probe[:], 0x0102)
+	return probe[0] == 0x02
+}()
+
+// castInt32s reinterprets b as []int32 without copying when the host
+// is little-endian and b is 4-byte aligned; otherwise it decodes a
+// fresh slice. b's length must be a multiple of 4 (checked by the
+// decoder before calling). The returned slice aliases b in the
+// zero-copy case, so it inherits b's lifetime (e.g. an mmap).
+func castInt32s(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// int32Bytes yields s's elements as little-endian bytes for writing:
+// a zero-copy reinterpretation on a little-endian host, an encoded
+// copy otherwise. The result aliases s in the zero-copy case and must
+// only be read.
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	out := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}

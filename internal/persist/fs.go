@@ -1,0 +1,64 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// fs is the filesystem surface the durability layer touches — small
+// enough to implement twice: osFS below for production, and the
+// crash-injection filesystem in crash_test.go, which models exactly
+// which bytes survive a kill -9 at any point (written-but-unsynced
+// data may or may not persist; renames only become durable after the
+// directory fsync). Every durability decision goes through this
+// interface so the crash tests exercise the real recovery code.
+type fs interface {
+	MkdirAll(dir string) error
+	ReadFile(path string) ([]byte, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (file, error)
+	// Create opens path truncated for writing.
+	Create(path string) (file, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory itself, making completed renames
+	// and creations durable.
+	SyncDir(dir string) error
+}
+
+// file is the writable-file surface: sequential writes, fsync, close.
+type file interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error              { return os.MkdirAll(dir, 0o755) }
+func (osFS) ReadFile(path string) ([]byte, error)   { return os.ReadFile(path) }
+func (osFS) Rename(oldPath, newPath string) error   { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error               { return os.Remove(path) }
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) OpenAppend(path string) (file, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(path string) (file, error) {
+	return os.Create(path)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

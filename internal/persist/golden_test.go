@@ -1,0 +1,139 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot file")
+
+// goldenGraph is the fixed input behind testdata/snapshot_v1.golden.
+// Deliberately irregular: an isolated vertex, a vertex with edges under
+// two labels, a self-loop — so every section of the format is nonempty
+// and non-trivial.
+func goldenGraph() *graph.Graph {
+	g := graph.New(6)
+	g.AddEdge(0, 'a', 1)
+	g.AddEdge(0, 'b', 2)
+	g.AddEdge(1, 'b', 2)
+	g.AddEdge(2, 'b', 3)
+	g.AddEdge(3, 'c', 3) // self-loop
+	g.AddEdge(4, 'a', 0)
+	// vertex 5 stays isolated
+	return g
+}
+
+var goldenMeta = SnapshotMeta{Epoch: 6, LastSeq: 17, AcyclicKnown: true, Acyclic: false}
+
+// TestSnapshotGolden pins format v1 byte for byte against a committed
+// file. If this test fails because the encoding changed, that is a
+// FORMAT BREAK: snapshots written by released binaries will no longer
+// map. Bump SnapshotVersion and add migration instead of regenerating
+// the golden file; regenerate (go test ./internal/persist -run Golden
+// -update) only for changes that provably keep old readers working.
+func TestSnapshotGolden(t *testing.T) {
+	g := goldenGraph()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, g.Freeze().Parts(), goldenMeta); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "snapshot_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapshot encoding diverged from golden file (%d bytes vs %d): format v1 must stay stable; see test comment", buf.Len(), len(want))
+	}
+
+	// The golden bytes must decode back to the identical graph + meta —
+	// this is what guards readers, not just writers.
+	csr, meta, err := OpenSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != goldenMeta {
+		t.Fatalf("meta: got %+v, want %+v", meta, goldenMeta)
+	}
+	if !graph.EdgeSetEqual(graph.FromCSR(csr, meta.Epoch), g) {
+		t.Fatal("golden snapshot decodes to a different edge set")
+	}
+}
+
+// TestSnapshotGoldenLayout spot-checks the fixed header offsets against
+// the documented layout, independent of the encoder's own constants.
+func TestSnapshotGoldenLayout(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "snapshot_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[0:8]) != "RSPQSNP1" {
+		t.Fatalf("magic: %q", data[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != 1 {
+		t.Fatalf("version: %d", v)
+	}
+	if flags := binary.LittleEndian.Uint32(data[12:]); flags != flagAcyclicKnown {
+		t.Fatalf("flags: %#x, want acyclic-known only", flags)
+	}
+	if n := binary.LittleEndian.Uint64(data[16:]); n != 6 {
+		t.Fatalf("n: %d", n)
+	}
+	if m := binary.LittleEndian.Uint64(data[24:]); m != 6 {
+		t.Fatalf("m: %d", m)
+	}
+	if epoch := binary.LittleEndian.Uint64(data[32:]); epoch != 6 {
+		t.Fatalf("epoch: %d", epoch)
+	}
+	if seq := binary.LittleEndian.Uint64(data[40:]); seq != 17 {
+		t.Fatalf("lastSeq: %d", seq)
+	}
+	if l := binary.LittleEndian.Uint32(data[48:]); l != 3 {
+		t.Fatalf("label count: %d", l)
+	}
+	if got := binary.LittleEndian.Uint32(data[124:]); got != crc32.Checksum(data[:124], castagnoli) {
+		t.Fatal("header CRC mismatch against documented range [0,124)")
+	}
+	if payloadLen := binary.LittleEndian.Uint64(data[96:]); int(payloadLen) != len(data)-headerSize {
+		t.Fatalf("payloadLen %d vs file %d", payloadLen, len(data)-headerSize)
+	}
+}
+
+// TestSnapshotUnknownVersion pins forward-compatibility: bytes from a
+// future format version must be rejected with ErrVersion even when
+// everything else about the header is internally consistent.
+func TestSnapshotUnknownVersion(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "snapshot_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(future[8:], SnapshotVersion+1)
+	// Re-seal the header CRC so version is the ONLY discrepancy.
+	binary.LittleEndian.PutUint32(future[124:], crc32.Checksum(future[:124], castagnoli))
+	if _, _, err := DecodeSnapshot(future); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+	// And without the reseal too (decode checks version before the CRC).
+	torn := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(torn[8:], SnapshotVersion+1)
+	if _, _, err := DecodeSnapshot(torn); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version, stale CRC: got %v, want ErrVersion", err)
+	}
+}

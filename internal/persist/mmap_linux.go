@@ -1,0 +1,34 @@
+//go:build linux
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only (MAP_PRIVATE: the mapping can never
+// write back, and snapshot readers never write through it). The
+// release function unmaps; the descriptor is closed immediately — the
+// mapping keeps the inode alive, so a concurrent checkpoint renaming a
+// new snapshot over the name leaves this data intact.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// mmapFile on platforms without the syscall wiring falls back to a
+// plain read; the decoder is indifferent (it sees bytes either way),
+// only the zero-copy property is lost.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,333 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// The write-ahead log is a flat sequence of records, each framing one
+// acknowledged mutation batch:
+//
+//	offset  size  field
+//	0       4     payloadLen (u32, little-endian)
+//	4       4     crc — CRC32-C over seq‖payload (u32)
+//	8       8     seq — monotone batch sequence number (u64)
+//	16      …     payload: concatenated ops
+//
+// An op is an opcode byte followed by uvarint operands:
+//
+//	1  add-edge     uvarint from, 1 label byte, uvarint to
+//	2  remove-edge  uvarint from, 1 label byte, uvarint to
+//	3  add-vertices uvarint count
+//
+// Sequence numbers start at 1, never reset (a checkpoint truncates the
+// file but the counter keeps running), and replay skips any record at
+// or below the snapshot's LastSeq — which is what makes every crash
+// point in the checkpoint protocol safe (see db.go). A record that is
+// torn (short frame) or fails its CRC ends the readable log: replay
+// stops there and recovery truncates the file back to the last good
+// boundary before appending again.
+
+// walHeaderSize is the per-record framing overhead.
+const walHeaderSize = 16
+
+// maxWALPayload bounds a single record; Append rejects larger batches
+// (callers split them) and replay treats a larger declared length as
+// corruption. It exists so a flipped length byte cannot make replay
+// trust a giant frame.
+const maxWALPayload = 1 << 28
+
+// OpKind identifies a WAL operation.
+type OpKind uint8
+
+const (
+	// OpAddEdge records graph.AddEdge(From, Label, To).
+	OpAddEdge OpKind = 1
+	// OpRemoveEdge records graph.RemoveEdge(From, Label, To).
+	OpRemoveEdge OpKind = 2
+	// OpAddVertices records Count consecutive graph.AddVertex calls.
+	OpAddVertices OpKind = 3
+)
+
+// Op is one logged mutation. The serving layer logs only *effective*
+// ops (an add that inserted, a remove that hit), so replaying them
+// against the snapshot state reproduces both the edge set and the
+// epoch exactly — no-op mutations don't bump the graph's epoch, and
+// effective ones bump it by exactly one on both timelines.
+type Op struct {
+	Kind  OpKind
+	From  int
+	To    int
+	Label byte
+	Count int // OpAddVertices only
+}
+
+// AppendOps serializes ops onto buf using the WAL payload encoding.
+func AppendOps(buf []byte, ops []Op) []byte {
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		switch op.Kind {
+		case OpAddEdge, OpRemoveEdge:
+			buf = binary.AppendUvarint(buf, uint64(op.From))
+			buf = append(buf, op.Label)
+			buf = binary.AppendUvarint(buf, uint64(op.To))
+		case OpAddVertices:
+			buf = binary.AppendUvarint(buf, uint64(op.Count))
+		default:
+			panic(fmt.Sprintf("persist: unknown op kind %d", op.Kind))
+		}
+	}
+	return buf
+}
+
+// DecodeOps parses a WAL record payload. Allocation is bounded by the
+// input: every op consumes at least two payload bytes, so the ops
+// slice cannot outgrow len(payload)/2+1 regardless of content.
+func DecodeOps(payload []byte) ([]Op, error) {
+	var ops []Op
+	for len(payload) > 0 {
+		kind := OpKind(payload[0])
+		payload = payload[1:]
+		switch kind {
+		case OpAddEdge, OpRemoveEdge:
+			from, nf := binary.Uvarint(payload)
+			if nf <= 0 || nf >= len(payload) {
+				return nil, fmt.Errorf("%w: truncated edge op", ErrCorrupt)
+			}
+			label := payload[nf]
+			to, nt := binary.Uvarint(payload[nf+1:])
+			if nt <= 0 {
+				return nil, fmt.Errorf("%w: truncated edge op", ErrCorrupt)
+			}
+			payload = payload[nf+1+nt:]
+			if from > uint64(maxWALPayload) || to > uint64(maxWALPayload) {
+				return nil, fmt.Errorf("%w: implausible vertex id", ErrCorrupt)
+			}
+			ops = append(ops, Op{Kind: kind, From: int(from), Label: label, To: int(to)})
+		case OpAddVertices:
+			count, nc := binary.Uvarint(payload)
+			if nc <= 0 {
+				return nil, fmt.Errorf("%w: truncated add-vertices op", ErrCorrupt)
+			}
+			payload = payload[nc:]
+			if count > uint64(maxWALPayload) {
+				return nil, fmt.Errorf("%w: implausible vertex count %d", ErrCorrupt, count)
+			}
+			ops = append(ops, Op{Kind: kind, Count: int(count)})
+		default:
+			return nil, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, kind)
+		}
+	}
+	return ops, nil
+}
+
+// ApplyOps replays decoded ops onto g, validating operand ranges so a
+// CRC-valid-but-foreign record errors instead of panicking inside the
+// graph. It returns how many ops were applied.
+func ApplyOps(g *graph.Graph, ops []Op) (int, error) {
+	for i, op := range ops {
+		n := g.NumVertices()
+		switch op.Kind {
+		case OpAddEdge:
+			if op.From < 0 || op.From >= n || op.To < 0 || op.To >= n {
+				return i, fmt.Errorf("%w: add-edge (%d,%q,%d) outside [0,%d)", ErrCorrupt, op.From, op.Label, op.To, n)
+			}
+			g.AddEdge(op.From, op.Label, op.To)
+		case OpRemoveEdge:
+			g.RemoveEdge(op.From, op.Label, op.To) // absent edges are safe no-ops
+		case OpAddVertices:
+			for j := 0; j < op.Count; j++ {
+				g.AddVertex()
+			}
+		default:
+			return i, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, op.Kind)
+		}
+	}
+	return len(ops), nil
+}
+
+// ScanWAL walks the records in data in order, calling fn for each
+// frame whose CRC verifies and whose sequence number strictly
+// increases. It stops — without error — at the first torn or corrupt
+// frame (the expected shape of a crash mid-append) and returns the
+// byte offset of the last good record boundary, so recovery can
+// truncate the file there; fn errors abort the scan and are returned.
+func ScanWAL(data []byte, fn func(seq uint64, payload []byte) error) (lastSeq uint64, goodLen int64, err error) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < walHeaderSize {
+			return lastSeq, int64(off), nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(rest[0:])
+		if payloadLen > maxWALPayload || int(payloadLen) > len(rest)-walHeaderSize {
+			return lastSeq, int64(off), nil
+		}
+		wantCRC := binary.LittleEndian.Uint32(rest[4:])
+		seq := binary.LittleEndian.Uint64(rest[8:])
+		body := rest[8 : walHeaderSize+int(payloadLen)] // seq ‖ payload
+		if crc32.Checksum(body, castagnoli) != wantCRC {
+			return lastSeq, int64(off), nil
+		}
+		if seq <= lastSeq {
+			// Sequence went backwards: the frame verifies but cannot
+			// belong to this log's tail. Treat it as the end.
+			return lastSeq, int64(off), nil
+		}
+		if err := fn(seq, rest[walHeaderSize:walHeaderSize+int(payloadLen)]); err != nil {
+			return lastSeq, int64(off), err
+		}
+		lastSeq = seq
+		off += walHeaderSize + int(payloadLen)
+	}
+}
+
+// SyncMode selects when the WAL fsyncs.
+type SyncMode uint8
+
+const (
+	// SyncBatch fsyncs every appended batch before acknowledging it —
+	// the durable default: kill -9 never loses an acknowledged batch.
+	SyncBatch SyncMode = iota
+	// SyncInterval group-commits: appends are acknowledged once
+	// written, and an fsync is issued when at least Interval has passed
+	// since the last one. A crash can lose up to one window of
+	// acknowledged batches; graph integrity is unaffected.
+	SyncInterval
+	// SyncOff never fsyncs on the append path (Close still syncs).
+	// Fastest, loses up to the OS page-cache on power failure; fine for
+	// caches and rebuildable data.
+	SyncOff
+)
+
+// SyncPolicy is a SyncMode plus its group-commit window.
+type SyncPolicy struct {
+	Mode     SyncMode
+	Interval time.Duration // SyncInterval only
+}
+
+// ParseSyncPolicy parses the -fsync flag: "batch", "off", or a
+// Go duration ("5ms") selecting a group-commit window.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "batch":
+		return SyncPolicy{Mode: SyncBatch}, nil
+	case "off":
+		return SyncPolicy{Mode: SyncOff}, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return SyncPolicy{}, fmt.Errorf("persist: -fsync wants \"batch\", \"off\", or a positive duration, got %q", s)
+		}
+		return SyncPolicy{Mode: SyncInterval, Interval: d}, nil
+	}
+}
+
+func (p SyncPolicy) String() string {
+	switch p.Mode {
+	case SyncBatch:
+		return "batch"
+	case SyncOff:
+		return "off"
+	default:
+		return p.Interval.String()
+	}
+}
+
+// wal is the append side of the log. Not self-synchronizing: DB
+// serializes access.
+type wal struct {
+	fsys     fs
+	path     string
+	f        file
+	seq      uint64 // last appended sequence number
+	policy   SyncPolicy
+	lastSync time.Time
+	dirty    bool // bytes written since the last fsync
+	buf      []byte
+}
+
+func openWAL(fsys fs, path string, startSeq uint64, policy SyncPolicy) (*wal, error) {
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{fsys: fsys, path: path, f: f, seq: startSeq, policy: policy}, nil
+}
+
+// Append frames and writes one batch, returning its sequence number.
+// Durability at return time depends on the sync policy; see SyncMode.
+func (w *wal) Append(ops []Op) (uint64, error) {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, make([]byte, walHeaderSize)...)
+	w.buf = AppendOps(w.buf, ops)
+	payloadLen := len(w.buf) - walHeaderSize
+	if payloadLen > maxWALPayload {
+		return 0, fmt.Errorf("persist: batch payload %d exceeds %d bytes; split the batch", payloadLen, maxWALPayload)
+	}
+	seq := w.seq + 1
+	binary.LittleEndian.PutUint32(w.buf[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint64(w.buf[8:], seq)
+	binary.LittleEndian.PutUint32(w.buf[4:], crc32.Checksum(w.buf[8:], castagnoli))
+	if _, err := w.f.Write(w.buf); err != nil {
+		return 0, err
+	}
+	w.seq = seq
+	w.dirty = true
+	switch w.policy.Mode {
+	case SyncBatch:
+		if err := w.sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.policy.Interval {
+			if err := w.sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+func (w *wal) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	return nil
+}
+
+// reset truncates the log after a checkpoint; the sequence counter
+// keeps running so snapshot.LastSeq stays a reliable replay gate even
+// if the truncation itself is lost to a crash.
+func (w *wal) reset() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if err := w.fsys.Truncate(w.path, 0); err != nil {
+		return err
+	}
+	f, err := w.fsys.OpenAppend(w.path)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.dirty = false
+	return nil
+}
+
+func (w *wal) Close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -82,6 +82,13 @@ type EngineConfig struct {
 	// reachable via Engine.Metrics. A registry should back at most one
 	// engine — a second engine would share and double-count the series.
 	Metrics *metrics.Registry
+	// Checkpoint, when non-nil, runs at the end of every Compact that
+	// merged delta, with the merged CSR installed and under the same
+	// external synchronization as the compaction itself. The serving
+	// layer points it at persist.DB.Checkpoint so every background
+	// compaction also publishes a durable snapshot and truncates the
+	// write-ahead log.
+	Checkpoint func()
 }
 
 // Adaptive shard sizing (EngineConfig.Shards == 0): graphs below
@@ -342,6 +349,9 @@ type Engine struct {
 	// (EngineConfig.Shards == 0 on an unconfigured graph); set once at
 	// construction, read by Stats.
 	adaptive bool
+
+	// checkpoint is EngineConfig.Checkpoint (nil = no durability).
+	checkpoint func()
 }
 
 // NewEngine builds a serving engine for s's language on g, freezing
@@ -385,6 +395,7 @@ func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
 	default:
 		e.compactDelta = -1
 	}
+	e.checkpoint = cfg.Checkpoint
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -477,6 +488,12 @@ func (e *Engine) Compact() bool {
 	e.met.compactSeconds.ObserveDuration(el)
 	e.met.lastCompaction.Set(el.Seconds())
 	e.met.compactMerged.Add(int64(adds + removes))
+	if e.checkpoint != nil {
+		// The merged CSR is the natural checkpoint image: publish it
+		// while still under the caller's write exclusion, so the
+		// snapshot and the WAL rotation see a quiesced graph.
+		e.checkpoint()
+	}
 	return true
 }
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# restart_smoke.sh: end-to-end durability smoke test. Builds rspqd,
+# boots it with a data dir (cold start -> checkpoint), mutates the
+# graph over HTTP so the WAL holds an un-checkpointed tail, records the
+# observable state, kill -9s the process, reboots on the same data dir
+# and asserts the recovered server reports the same epoch / edge count
+# / query answer with warm_start set. Exercises the whole chain:
+# write-ahead handlers -> WAL fsync -> snapshot map -> tail replay.
+set -euo pipefail
+
+ADDR="127.0.0.1:18322"
+BIN="$(mktemp -d)/rspqd"
+DATA="$(mktemp -d)"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/rspqd
+
+start_server() {
+    "$BIN" -addr "$ADDR" -gen 200 -pattern 'a*(bb+|())c*' -data-dir "$DATA" >>"$LOG" 2>&1 &
+    PID=$!
+    for i in $(seq 1 50); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$PID" 2>/dev/null; then
+            echo "restart_smoke: rspqd died during startup" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "restart_smoke: rspqd never became healthy" >&2
+    exit 1
+}
+
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+    rm -rf "$DATA" "$LOG"
+}
+trap cleanup EXIT
+
+field() { # field <json> <key> -> numeric/bool value
+    echo "$1" | sed -n "s/.*\"$2\":\([a-z0-9.]*\).*/\1/p"
+}
+
+start_server
+
+# Mutate through the write-ahead handlers: a batch and a single edge.
+curl -fsS -X POST "http://$ADDR/edges" \
+    -d '{"add":[{"from":0,"label":"a","to":7},{"from":7,"label":"b","to":9},{"from":9,"label":"b","to":11}],"remove":[{"from":0,"label":"a","to":7}]}' >/dev/null
+curl -fsS -X POST "http://$ADDR/edge" -d '{"from":11,"label":"c","to":13}' >/dev/null
+
+H1="$(curl -fsS "http://$ADDR/healthz")"
+EPOCH1="$(field "$H1" epoch)"
+EDGES1="$(field "$H1" edges)"
+WALSEQ1="$(field "$H1" wal_seq)"
+Q1="$(curl -fsS -X POST "http://$ADDR/query" -d '{"x":7,"y":13}')"
+FOUND1="$(field "$Q1" found)"
+if [ "$(field "$H1" durable)" != "true" ] || [ "$WALSEQ1" = "0" ]; then
+    echo "restart_smoke: server not running durable with a WAL tail: $H1" >&2
+    exit 1
+fi
+
+# Crash hard: no graceful shutdown, no final checkpoint.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+start_server
+
+H2="$(curl -fsS "http://$ADDR/healthz")"
+if [ "$(field "$H2" warm_start)" != "true" ]; then
+    echo "restart_smoke: reboot was not a warm start: $H2" >&2
+    exit 1
+fi
+EPOCH2="$(field "$H2" epoch)"
+EDGES2="$(field "$H2" edges)"
+if [ "$EPOCH2" != "$EPOCH1" ] || [ "$EDGES2" != "$EDGES1" ]; then
+    echo "restart_smoke: recovered epoch/edges $EPOCH2/$EDGES2 != pre-crash $EPOCH1/$EDGES1" >&2
+    echo "before: $H1" >&2
+    echo "after:  $H2" >&2
+    exit 1
+fi
+Q2="$(curl -fsS -X POST "http://$ADDR/query" -d '{"x":7,"y":13}')"
+FOUND2="$(field "$Q2" found)"
+if [ "$FOUND2" != "$FOUND1" ]; then
+    echo "restart_smoke: query(7,13) found=$FOUND2 after reboot, was $FOUND1" >&2
+    exit 1
+fi
+
+echo "restart_smoke: ok (epoch=$EPOCH2 edges=$EDGES2 wal_seq=$WALSEQ1 found=$FOUND2 warm_start=true)"
