@@ -137,23 +137,30 @@ func FromCSR(c *CSR, epoch uint64) *Graph {
 	n := c.n
 	g := New(n)
 	L := len(c.labels)
+	// All adjacency rows are carved out of two contiguous arenas rather
+	// than allocated per vertex: adoption of a large snapshot is
+	// allocation-bound, and this keeps it at O(1) allocations. The
+	// three-index slices pin each row's capacity to its arena region, so
+	// a later AddEdge on a full row reallocates that row instead of
+	// growing into its neighbor.
+	outArena := make([]Edge, 0, c.m)
+	inArena := make([]Edge, 0, c.m)
 	for v := 0; v < n; v++ {
-		if d := c.OutDegree(v); d > 0 {
-			g.out[v] = make([]Edge, 0, d)
-		}
-		if d := c.InDegree(v); d > 0 {
-			g.in[v] = make([]Edge, 0, d)
-		}
-	}
-	for v := 0; v < n; v++ {
+		outStart, inStart := len(outArena), len(inArena)
 		for lid := 0; lid < L; lid++ {
 			label := c.labels[lid]
 			for _, to := range c.outTo[c.outBucket[v*L+lid]:c.outBucket[v*L+lid+1]] {
-				g.out[v] = append(g.out[v], Edge{From: v, Label: label, To: int(to)})
+				outArena = append(outArena, Edge{From: v, Label: label, To: int(to)})
 			}
 			for _, from := range c.inFrom[c.inBucket[v*L+lid]:c.inBucket[v*L+lid+1]] {
-				g.in[v] = append(g.in[v], Edge{From: int(from), Label: label, To: v})
+				inArena = append(inArena, Edge{From: int(from), Label: label, To: v})
 			}
+		}
+		if end := len(outArena); end > outStart {
+			g.out[v] = outArena[outStart:end:end]
+		}
+		if end := len(inArena); end > inStart {
+			g.in[v] = inArena[inStart:end:end]
 		}
 	}
 	for lid := 0; lid < L; lid++ {
