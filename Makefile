@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz-persist bench bench-smoke bench-json bench-shard bench-flood bench-overlay bench-snap metrics-smoke restart-smoke serve docs
+.PHONY: check build vet test race fuzz-persist bench bench-smoke bench-json bench-shard bench-flood bench-dist bench-overlay bench-snap metrics-smoke restart-smoke serve docs
 
 check: build vet test race
 
@@ -43,6 +43,13 @@ bench-shard:
 # pinned top-down generic reference) — the CI flood smoke test.
 bench-flood:
 	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-flood.json -workloads flood
+
+# bench-dist: the shortest-walk flood workloads that exercise the
+# bit-parallel distance kernels with witness-log replay (K=1/8, each vs
+# a pinned top-down generic reference) — the CI distance smoke test.
+# The kernels' bar: flood-dist beats flood-dist-generic by ≥2x at K=1.
+bench-dist:
+	$(GO) run ./cmd/rspqbench -benchjson /tmp/bench-dist.json -workloads dist
 
 # bench-overlay: the no-freeze read path (graph.View) vs stop-the-world
 # refreeze+query across pending-delta sizes on a 1M-edge graph — the CI

@@ -98,6 +98,7 @@ func workloadGroups() []workloadGroup {
 		{"core", coreWorkloads},
 		{"shard", shardWorkloads},
 		{"flood", floodWorkloads},
+		{"dist", distWorkloads},
 		{"overlay", overlayWorkloads},
 		{"snap", snapWorkloads},
 	}
@@ -303,6 +304,69 @@ func floodWorkloads() []workload {
 		ws = append(ws,
 			workload{fmt.Sprintf("flood-exists/K=%d", k), run(k, false)},
 			workload{fmt.Sprintf("flood-exists-topdown/K=%d", k), run(k, true)},
+		)
+	}
+	return ws
+}
+
+// distWorkloads measures the bit-parallel DISTANCE kernels
+// (distbits.go) on their target shape: shortest-walk floods — full
+// batch Solve, so every group pays distToGoal plus witness-walk
+// reconstruction — over a dense 1M-edge random graph (12.5k vertices,
+// average degree 80, past the bottom-up density gate) under the
+// 11-state subword-closed language a*b*a*b*a*b*a*b*a*b*. The width is
+// the point: the generic kernel walks m product rows per edge while
+// the packed sweep tests all m states in one word, so a
+// representative mid-width automaton (still far under the 64-state
+// packing bound) is where the distance kernels must earn their keep.
+// Like the flood group, each K runs twice: once on the packed
+// witness-log kernels and once pinned to the top-down generic
+// distToGoal the pre-optimization revisions used, so the JSON carries
+// the speedup itself. K=1 short-circuits the exchange, making the K=1
+// pair the single-core kernel-vs-kernel comparison behind the ≥2×
+// acceptance bar.
+func distWorkloads() []workload {
+	const distN, distM = 12_500, 1_000_000
+	rg := rand.New(rand.NewSource(31))
+	labels := []byte{'a', 'b'}
+	g := graph.New(distN)
+	for g.NumEdges() < distM {
+		g.AddEdge(rg.Intn(distN), labels[rg.Intn(len(labels))], rg.Intn(distN))
+	}
+	s := mustSolver("a*b*a*b*a*b*a*b*a*b*")
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(37))
+	pairs := make([]rspq.Pair, 0, 2*64)
+	for t := 0; t < 2; t++ {
+		y := rng.Intn(n)
+		for i := 0; i < 64; i++ {
+			pairs = append(pairs, rspq.Pair{X: rng.Intn(n), Y: y})
+		}
+	}
+	run := func(k int, generic bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			if generic {
+				rspq.SetDirectionMode(rspq.DirTopDown)
+				rspq.SetBitParallel(false)
+				defer func() {
+					rspq.SetDirectionMode(rspq.DirAuto)
+					rspq.SetBitParallel(true)
+				}()
+			}
+			g.SetShards(k)
+			s.Warm(g)
+			bs := rspq.NewBatchSolver(s, g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.Solve(pairs)
+			}
+		}
+	}
+	var ws []workload
+	for _, k := range []int{1, 8} {
+		ws = append(ws,
+			workload{fmt.Sprintf("flood-dist/K=%d", k), run(k, false)},
+			workload{fmt.Sprintf("flood-dist-generic/K=%d", k), run(k, true)},
 		)
 	}
 	return ws

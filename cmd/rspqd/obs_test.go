@@ -149,6 +149,9 @@ func TestStatsMetricsAgree(t *testing.T) {
 	eq("top_down_rounds", float64(e.TopDownRounds), m[`rspq_kernel_rounds_total{dir="top_down"}`])
 	eq("bottom_up_rounds", float64(e.BottomUpRounds), m[`rspq_kernel_rounds_total{dir="bottom_up"}`])
 	eq("direction_switches", float64(e.DirectionSwitches), m["rspq_kernel_direction_switches_total"])
+	eq("dir_alpha", e.DirAlpha, m["rspq_dir_alpha"])
+	eq("dir_beta", e.DirBeta, m["rspq_dir_beta"])
+	eq("tuner_adjustments", float64(e.TunerAdjustments), m["rspq_tuner_adjustments_total"])
 	eq("bit_parallel_hits", float64(e.BitParallelHits), m["rspq_bit_parallel_hits_total"])
 	eq("compactions", float64(e.Compactions), m["rspq_compactions_total"])
 	eq("compaction_merged_edges", float64(e.CompactionMergedEdges), m["rspq_compaction_merged_edges_total"])

@@ -19,6 +19,11 @@ type Packed struct {
 	m, l int
 	// pred[i*m+q] is the bitmask of states q' with ∆(q', Alphabet[i]) = q.
 	pred []uint64
+	// step[i*m+q] = ∆(q, Alphabet[i]): the forward transitions re-packed
+	// as one flat byte table (states fit a byte with m ≤ 64), so the
+	// distance kernels' witness replay resolves the successor state of a
+	// matched bit without touching the DFA's wider Delta array.
+	step []uint8
 }
 
 // NewPacked builds the packed transition table of d, or nil when d has
@@ -29,11 +34,17 @@ func NewPacked(d *DFA) *Packed {
 		return nil
 	}
 	L := len(d.Alphabet)
-	p := &Packed{m: d.NumStates, l: L, pred: make([]uint64, L*d.NumStates)}
+	p := &Packed{
+		m:    d.NumStates,
+		l:    L,
+		pred: make([]uint64, L*d.NumStates),
+		step: make([]uint8, L*d.NumStates),
+	}
 	for q := 0; q < d.NumStates; q++ {
 		for i := 0; i < L; i++ {
 			t := d.Delta[q*L+i]
 			p.pred[i*d.NumStates+t] |= 1 << uint(q)
+			p.step[i*d.NumStates+q] = uint8(t)
 		}
 	}
 	return p
@@ -45,6 +56,11 @@ func (p *Packed) NumStates() int { return p.m }
 // PredMask returns the bitmask of states stepping into q on the i-th
 // alphabet letter.
 func (p *Packed) PredMask(q, i int) uint64 { return p.pred[i*p.m+q] }
+
+// StepIndex returns ∆(q, Alphabet[i]) from the packed forward table —
+// the byte-tight counterpart of DFA.StepIndex used by the distance
+// kernels' witness replay.
+func (p *Packed) StepIndex(q, i int) int { return int(p.step[i*p.m+q]) }
 
 // PredOf returns the predecessor word of w under the i-th alphabet
 // letter: the bitmask of states q' with ∆(q', Alphabet[i]) ∈ w. One

@@ -53,6 +53,8 @@ type arena struct {
 	queue  []int32  // BFS worklist / current frontier
 	queue2 []int32  // next frontier of the level-synchronous kernels
 	w64    []uint64 // packed per-vertex state words (bit-parallel kernels)
+	sat    []uint64 // per-vertex saturation bitmap (bit-parallel kernels)
+	wlog   witLog   // per-level witness log (bit-parallel distance kernels)
 	vs     []int    // path vertex scratch
 	ls     []byte   // path label scratch
 	lmap   []int16  // CSR label id -> DFA alphabet index (-1 absent)
@@ -82,6 +84,24 @@ func (a *arena) growWords(n int) (vis, cur, nxt []uint64) {
 	w := a.w64[:3*n]
 	clear(w)
 	return w[:n:n], w[n : 2*n : 2*n], w[2*n:]
+}
+
+// growSat returns the saturation bitmap of a bit-parallel search: one
+// bit per vertex, set once the vertex's visited word equals the
+// co-reach mask, so bottom-up rounds scan 64 vertices per load and
+// skip saturated ones wholesale. Tail bits beyond n are pre-set so the
+// word-batched scan never yields a nonexistent vertex.
+func (a *arena) growSat(n int) []uint64 {
+	nw := (n + 63) >> 6
+	if cap(a.sat) < nw {
+		a.sat = make([]uint64, nw)
+	}
+	s := a.sat[:nw]
+	clear(s)
+	if r := uint(n & 63); r != 0 {
+		s[nw-1] = ^uint64(0) << r
+	}
+	return s
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(arena) }}

@@ -238,8 +238,11 @@ func (bs *BatchSolver) batchFinite(vw *graph.View, grp *batchGroup, out []Result
 // mode each source is a single O(1) reachability lookup — no walk is
 // materialized at all (sound because the dispatcher verified the
 // language subword-closed, so a walk always yields a simple witness) —
-// against the mark-only coReach sweep, which needs no successor links
-// and runs bit-parallel on ≤64-state DFAs (bitbfs.go).
+// against the mark-only coReach sweep. Both sweeps run bit-parallel on
+// ≤64-state DFAs: coReach via bitbfs.go, the distance-and-successor
+// form via the witness-log kernels in distbits.go, so a shared walk
+// group pays packed rounds plus one replay pass instead of scalar
+// per-state expansion.
 func (bs *BatchSolver) batchSubword(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProductView(vw, bs.s.Min, a)
 	p.counts = bs.counts
@@ -269,7 +272,8 @@ func (bs *BatchSolver) batchSubword(vw *graph.View, grp *batchGroup, out []Resul
 // batchDAG shares the same backward product BFS on acyclic inputs,
 // where every walk is already simple (Theorem 8's collapse to RPQ);
 // existence-only mode is again one O(1) lookup per source, against the
-// mark-only (bit-parallelizable) coReach sweep.
+// mark-only coReach sweep. Like batchSubword, both modes dispatch to
+// the packed ≤64-state kernels when the DFA fits.
 func (bs *BatchSolver) batchDAG(vw *graph.View, grp *batchGroup, out []Result, found []bool, a *arena) {
 	p := makeProductView(vw, bs.s.Min, a)
 	p.counts = bs.counts

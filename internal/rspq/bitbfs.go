@@ -2,6 +2,7 @@ package rspq
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -13,18 +14,24 @@ import (
 // AND/OR/masked predecessor lookup (automaton.Packed.PredOf) advances
 // every state of a vertex at once, and the per-(vertex, state) inner
 // loops of the generic kernels collapse into word operations. The
-// kernel is mark-only — no distances, no parent links — which is
+// kernels here are mark-only — no distances, no parent links — which is
 // exactly what the existence surfaces (SolveExists, BatchSolveExists,
-// Engine.Exists) and the baseline tier's pruning table need; distToGoal
-// keeps the generic kernels because it records successor links.
+// Engine.Exists) and the baseline tier's pruning table need; the
+// distance/witness form of the same sweep lives in distbits.go.
 //
 // Both forms are direction-optimizing (dirbfs.go): a top-down round
 // expands frontier words through in-edges, a bottom-up round scans
 // vertices whose words have not saturated and pulls missing bits from
 // their out-neighbors' frontier words. Vertex words are bounded by the
 // DFA's co-reachable state mask (Packed.CoReachMask): bits outside it
-// can never be set, so a word equal to the mask is saturated and the
-// bottom-up scan skips the vertex.
+// can never be set, so a word equal to the mask is saturated. A second
+// bitmap — one bit per vertex, set on saturation (arena.growSat) —
+// word-batches the bottom-up scan: one complemented load tests 64
+// vertices at once and TrailingZeros64 walks only the unsaturated
+// ones, so flooding rounds skip the settled bulk of the graph at 64
+// vertices per load. In the sharded kernels the bitmap's words straddle
+// shard boundaries, so saturation bits are set with atomic Or and read
+// with atomic loads; the sequential kernels use plain operations.
 //
 // The result is scattered into the same a.co stamped set the generic
 // coReach fills, so every consumer — the baseline backtracking search,
@@ -36,6 +43,7 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 	accept := automaton.AcceptMask(p.d)
 	coMask := pk.CoReachMask(accept)
 	vis, cur, nxt := a.growWords(p.n)
+	sat := a.growSat(p.n)
 	frontEdges := int64(0)
 	unvisEdges := int64(p.vw.NumEdges())
 	seed := accept & coMask
@@ -43,16 +51,20 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 	if seed != 0 {
 		vis[y] = seed
 		cur[y] = seed
+		if seed == coMask {
+			sat[y>>6] |= 1 << uint(y&63)
+		}
 		curQ = append(curQ, int32(y))
 		frontEdges += int64(p.vw.InDegree(y))
 		unvisEdges -= int64(p.vw.OutDegree(y))
 	}
 	L := p.vw.NumLabels()
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
+	dc := p.dirConfig()
+	bottomUp := false
 	for len(curQ) > 0 {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(curQ)), int64(p.n))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(len(curQ)), int64(p.n))
 		if bottomUp != prev {
 			sw++
 		}
@@ -66,22 +78,33 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 		frontEdges = 0
 		nxtQ = nxtQ[:0]
 		if bottomUp {
-			for v := 0; v < p.n; v++ {
-				missing := coMask &^ vis[v]
-				if missing == 0 {
-					continue
+			// Word-batched unvisited scan: one complemented load tests 64
+			// vertices, TrailingZeros64 walks only the unsaturated ones.
+			for wi, sw64 := range sat {
+				uw := ^sw64
+				for uw != 0 {
+					b := bits.TrailingZeros64(uw)
+					uw &= uw - 1
+					v := wi<<6 + b
+					missing := coMask &^ vis[v]
+					if missing == 0 {
+						continue
+					}
+					add := p.buPullBits(pk, cur, v, missing, L)
+					if add == 0 {
+						continue
+					}
+					if vis[v] == 0 {
+						unvisEdges -= int64(p.vw.OutDegree(v))
+					}
+					vis[v] |= add
+					if vis[v] == coMask {
+						sat[wi] |= 1 << uint(b)
+					}
+					nxt[v] = add
+					nxtQ = append(nxtQ, int32(v))
+					frontEdges += int64(p.vw.InDegree(v))
 				}
-				add := p.buPullBits(pk, cur, v, missing, L)
-				if add == 0 {
-					continue
-				}
-				if vis[v] == 0 {
-					unvisEdges -= int64(p.vw.OutDegree(v))
-				}
-				vis[v] |= add
-				nxt[v] = add
-				nxtQ = append(nxtQ, int32(v))
-				frontEdges += int64(p.vw.InDegree(v))
 			}
 		} else {
 			for _, v32 := range curQ {
@@ -110,6 +133,9 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 							frontEdges += int64(p.vw.InDegree(u))
 						}
 						vis[u] |= add
+						if vis[u] == coMask {
+							sat[u>>6] |= 1 << uint(u&63)
+						}
 						nxt[u] |= add
 					}
 				}
@@ -125,9 +151,9 @@ func (p *product) coReachBits(y int, a *arena, pk *automaton.Packed) {
 			nxt[v] = 0
 		}
 		curQ, nxtQ = nxtQ, curQ
-		p.roundEnd(t0, bottomUp, front)
+		p.roundEnd(&dc, t0, bottomUp, front)
 	}
-	p.runDone(td, bu, sw)
+	p.runDone(&dc, td, bu, sw)
 	a.queue, a.queue2 = curQ[:0], nxtQ[:0]
 	p.scatterBits(a, vis)
 }
@@ -187,6 +213,7 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 	accept := automaton.AcceptMask(p.d)
 	coMask := pk.CoReachMask(accept)
 	vis, cur, nxt := a.growWords(p.n)
+	sat := a.growSat(p.n)
 	ex := getExch(K)
 	home := sc.ShardOf(y)
 	hsh := sc.Shard(home)
@@ -195,6 +222,9 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 	if seed != 0 {
 		vis[y] = seed
 		cur[y] = seed
+		if seed == coMask {
+			sat[y>>6] |= 1 << uint(y&63)
+		}
 		ex.fr[home] = append(ex.fr[home], int32(y))
 		frontEdges += int64(hsh.InDegree(y))
 		unvisEdges -= int64(hsh.OutDegree(y))
@@ -202,10 +232,11 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
+	dc := p.dirConfig()
+	bottomUp := false
 	for total > 0 {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(p.n))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(total), int64(p.n))
 		if bottomUp != prev {
 			sw++
 		}
@@ -213,19 +244,19 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 		ex.clearAccum()
 		if bottomUp {
 			bu++
-			parShards(W, K, func(s int) { p.buExpandBits(ex, s, pk, coMask, vis, cur, nxt) })
+			parShards(W, K, func(s int) { p.buExpandBits(ex, s, pk, coMask, vis, cur, nxt, sat) })
 		} else {
 			td++
-			parShards(W, K, func(s int) { p.tdExpandBits(ex, K, s, pk, vis, cur, nxt) })
+			parShards(W, K, func(s int) { p.tdExpandBits(ex, K, s, pk, coMask, vis, cur, nxt, sat) })
 		}
-		parShards(W, K, func(s int) { p.deliverBits(ex, K, s, bottomUp, vis, cur, nxt) })
+		parShards(W, K, func(s int) { p.deliverBits(ex, K, s, bottomUp, coMask, vis, cur, nxt, sat, false) })
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
-		p.roundEnd(t0, bottomUp, total)
+		p.roundEnd(&dc, t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	p.runDone(td, bu, sw)
+	p.runDone(&dc, td, bu, sw)
 	ex.release()
 	parShards(exchangeWorkers(K), K, func(s int) { p.scatterBitsShard(a, sc.Shard(s), vis) })
 }
@@ -233,8 +264,10 @@ func (p *product) coReachBitsSharded(y int, a *arena, pk *automaton.Packed) {
 // tdExpandBits is the top-down expand phase of one bit-parallel round
 // for shard s: push each frontier vertex's predecessor words through
 // the shard's reverse adjacency; own rows settle immediately,
-// cross-shard words are boxed.
-func (p *product) tdExpandBits(ex *exch, K, s int, pk *automaton.Packed, vis, cur, nxt []uint64) {
+// cross-shard words are boxed. Saturation bits are set with atomic Or:
+// the bitmap's words straddle shard boundaries, so a boundary word may
+// be written by two owners in the same phase.
+func (p *product) tdExpandBits(ex *exch, K, s int, pk *automaton.Packed, coMask uint64, vis, cur, nxt, sat []uint64) {
 	sc := p.sc
 	sh := sc.Shard(s)
 	lo, hi := int32(sh.Lo()), int32(sh.Hi())
@@ -266,6 +299,9 @@ func (p *product) tdExpandBits(ex *exch, K, s int, pk *automaton.Packed, vis, cu
 						ex.fe[s] += int64(sh.InDegree(u))
 					}
 					vis[u] |= add
+					if vis[u] == coMask {
+						atomic.OrUint64(&sat[u>>6], 1<<uint(u&63))
+					}
 					nxt[u] |= add
 					continue
 				}
@@ -279,44 +315,64 @@ func (p *product) tdExpandBits(ex *exch, K, s int, pk *automaton.Packed, vis, cu
 // buExpandBits is the bottom-up expand phase of one bit-parallel round
 // for shard s: pull missing bits for every unsaturated own row from the
 // out-neighbors' frontier words (cur is read-only during the phase, so
-// cross-shard reads are safe).
-func (p *product) buExpandBits(ex *exch, s int, pk *automaton.Packed, coMask uint64, vis, cur, nxt []uint64) {
+// cross-shard reads are safe). The scan is word-batched over the
+// saturation bitmap — boundary words are masked to the shard's vertex
+// range and read atomically, because their remaining bits belong to
+// neighboring shards that may be writing them in the same phase.
+func (p *product) buExpandBits(ex *exch, s int, pk *automaton.Packed, coMask uint64, vis, cur, nxt, sat []uint64) {
 	sc := p.sc
 	sh := sc.Shard(s)
 	L := sc.NumLabels()
-	for v := sh.Lo(); v < sh.Hi(); v++ {
-		missing := coMask &^ vis[v]
-		if missing == 0 {
-			continue
+	lo, hi := sh.Lo(), sh.Hi()
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		uw := ^atomic.LoadUint64(&sat[wi])
+		base := wi << 6
+		if base < lo {
+			uw &^= (1 << uint(lo-base)) - 1
 		}
-		add := uint64(0)
-	pull:
-		for lid := 0; lid < L; lid++ {
-			di := p.lmap[lid]
-			if di < 0 {
+		if r := hi - base; r < 64 {
+			uw &= (1 << uint(r)) - 1
+		}
+		for uw != 0 {
+			b := bits.TrailingZeros64(uw)
+			uw &= uw - 1
+			v := base + b
+			missing := coMask &^ vis[v]
+			if missing == 0 {
 				continue
 			}
-			for _, u := range p.vw.ShardOutWithID(sh, v, lid) {
-				cw := cur[u]
-				if cw == 0 {
+			add := uint64(0)
+		pull:
+			for lid := 0; lid < L; lid++ {
+				di := p.lmap[lid]
+				if di < 0 {
 					continue
 				}
-				add |= pk.PredOf(cw, int(di)) & missing
-				if add == missing {
-					break pull
+				for _, u := range p.vw.ShardOutWithID(sh, v, lid) {
+					cw := cur[u]
+					if cw == 0 {
+						continue
+					}
+					add |= pk.PredOf(cw, int(di)) & missing
+					if add == missing {
+						break pull
+					}
 				}
 			}
+			if add == 0 {
+				continue
+			}
+			if vis[v] == 0 {
+				ex.ue[s] += int64(sh.OutDegree(v))
+			}
+			vis[v] |= add
+			if vis[v] == coMask {
+				atomic.OrUint64(&sat[wi], 1<<uint(b))
+			}
+			nxt[v] = add
+			ex.nx[s] = append(ex.nx[s], int32(v))
+			ex.fe[s] += int64(sh.InDegree(v))
 		}
-		if add == 0 {
-			continue
-		}
-		if vis[v] == 0 {
-			ex.ue[s] += int64(sh.OutDegree(v))
-		}
-		vis[v] |= add
-		nxt[v] = add
-		ex.nx[s] = append(ex.nx[s], int32(v))
-		ex.fe[s] += int64(sh.InDegree(v))
 	}
 }
 
@@ -324,7 +380,11 @@ func (p *product) buExpandBits(ex *exch, s int, pk *automaton.Packed, coMask uin
 // s: drain the word outboxes (top-down rounds only — bottom-up sends
 // nothing), then install the next frontier words, clearing the old
 // ones so cur is nonzero exactly on frontier vertices at every barrier.
-func (p *product) deliverBits(ex *exch, K, s int, bottomUp bool, vis, cur, nxt []uint64) {
+// When logged is set (the distance kernels), the installed words are
+// also appended to the shard's witness log and the level sealed — the
+// install point is exactly where a vertex's newly discovered bits for
+// this round are complete.
+func (p *product) deliverBits(ex *exch, K, s int, bottomUp bool, coMask uint64, vis, cur, nxt, sat []uint64, logged bool) {
 	sh := p.sc.Shard(s)
 	if !bottomUp {
 		for t := 0; t < K; t++ {
@@ -342,6 +402,9 @@ func (p *product) deliverBits(ex *exch, K, s int, bottomUp bool, vis, cur, nxt [
 					ex.fe[s] += int64(sh.InDegree(u))
 				}
 				vis[u] |= add
+				if vis[u] == coMask {
+					atomic.OrUint64(&sat[u>>6], 1<<uint(u&63))
+				}
 				nxt[u] |= add
 			}
 			ex.wbox[t*K+s] = ex.wbox[t*K+s][:0]
@@ -352,7 +415,14 @@ func (p *product) deliverBits(ex *exch, K, s int, bottomUp bool, vis, cur, nxt [
 	}
 	for _, v := range ex.nx[s] {
 		cur[v] = nxt[v]
+		if logged {
+			ex.lgV[s] = append(ex.lgV[s], v)
+			ex.lgW[s] = append(ex.lgW[s], nxt[v])
+		}
 		nxt[v] = 0
+	}
+	if logged {
+		ex.lgOff[s] = append(ex.lgOff[s], int32(len(ex.lgV[s])))
 	}
 	ex.fr[s], ex.nx[s] = ex.nx[s], ex.fr[s][:0]
 }

@@ -97,39 +97,109 @@ func SetBitParallel(on bool) { bitParallelOff.Store(!on) }
 
 func bitParallelEnabled() bool { return !bitParallelOff.Load() }
 
-func dirThresholds() (alpha, beta int64) {
-	alpha, beta = dirAlphaDefault, dirBetaDefault
-	if v := dirAlphaOverride.Load(); v > 0 {
-		alpha = v
-	}
-	if v := dirBetaOverride.Load(); v > 0 {
-		beta = v
-	}
-	return alpha, beta
+// dirConfig is the per-search snapshot of every direction-heuristic
+// input that stays constant for one whole search: the pinned mode, the
+// α/β switch thresholds and the density-gate verdict. Kernels resolve
+// it ONCE at search start — the former dirThresholds helper re-read the
+// mode and override atomics on every round decision — and it doubles as
+// the accumulator for the per-direction work and wall-time totals the
+// α/β auto-tuner (tuner.go) learns from.
+type dirConfig struct {
+	mode  DirMode
+	alpha int64
+	beta  int64
+	dense bool
+	tuned bool // α/β came from the auto-tuner, not the defaults
+
+	// Per-run tuner observations. choose credits the work estimate of
+	// the direction it picks (frontier in-degree top-down, unvisited
+	// out-degree bottom-up); product.roundEnd adds the measured wall
+	// time; product.runDone feeds the finished run to the tuner.
+	tdWork, buWork   int64
+	tdNanos, buNanos int64
 }
 
-// chooseBottomUp decides the next round's direction from the current
-// one and the incremental size estimates: dense is the kernel's
-// per-call dirDense verdict, frontEdges the in-degree sum of the
-// frontier, unvisEdges the out-degree sum of the unvisited ids,
-// frontSize/totalSize the frontier and id-space cardinalities.
-func chooseBottomUp(bottomUp, dense bool, frontEdges, unvisEdges, frontSize, totalSize int64) bool {
-	switch DirMode(dirMode.Load()) {
+// resolveDirConfig snapshots the direction heuristic for one search
+// over a graph with the given edge/vertex counts: mode, defaults, the
+// density gate, then the test override hooks. Searches with a tuner in
+// reach go through product.dirConfig, which layers the learned
+// thresholds in before the overrides.
+func resolveDirConfig(edges, verts int) dirConfig {
+	dc := dirConfig{
+		mode:  DirMode(dirMode.Load()),
+		alpha: dirAlphaDefault,
+		beta:  dirBetaDefault,
+		dense: dirDense(edges, verts),
+	}
+	dc.applyOverrides()
+	return dc
+}
+
+// applyOverrides layers the test-hook threshold atomics over whatever
+// thresholds are in effect; they always win over the tuner.
+func (dc *dirConfig) applyOverrides() {
+	if v := dirAlphaOverride.Load(); v > 0 {
+		dc.alpha = v
+		dc.tuned = false
+		// The test hook forces switches on arbitrarily small (and hence
+		// sparse) inputs; the density gate must not mask them.
+		dc.dense = true
+	}
+	if v := dirBetaOverride.Load(); v > 0 {
+		dc.beta = v
+		dc.tuned = false
+	}
+}
+
+// dirConfig resolves the search's direction snapshot for a product
+// kernel, letting the engine's auto-tuner (when wired) substitute the
+// thresholds it has learned for this (graph epoch, automaton size)
+// bucket before the test overrides are applied on top. The resolved
+// thresholds are mirrored into the query trace when one is recording.
+func (p *product) dirConfig() dirConfig {
+	dc := dirConfig{
+		mode:  DirMode(dirMode.Load()),
+		alpha: dirAlphaDefault,
+		beta:  dirBetaDefault,
+		dense: dirDense(p.vw.NumEdges(), p.n),
+	}
+	if p.tun != nil {
+		if alpha, beta, ok := p.tun.thresholds(p.vw.Epoch(), p.m); ok {
+			dc.alpha, dc.beta, dc.tuned = alpha, beta, true
+		}
+	}
+	dc.applyOverrides()
+	if p.tr != nil {
+		p.tr.alpha, p.tr.beta, p.tr.tuned = dc.alpha, dc.beta, dc.tuned
+	}
+	return dc
+}
+
+// choose decides the next round's direction from the current one and
+// the incremental size estimates: frontEdges is the in-degree sum of
+// the frontier, unvisEdges the out-degree sum of the unvisited ids,
+// frontSize/totalSize the frontier and id-space cardinalities. Under
+// DirAuto it also credits the chosen direction's work estimate to the
+// tuner accumulators, so a finished run reports (work, time) pairs per
+// direction.
+func (dc *dirConfig) choose(bottomUp bool, frontEdges, unvisEdges, frontSize, totalSize int64) bool {
+	switch dc.mode {
 	case DirTopDown:
 		return false
 	case DirBottomUp:
 		return true
 	}
-	if dirAlphaOverride.Load() > 0 {
-		// The test hook forces switches on arbitrarily small (and hence
-		// sparse) inputs; the density gate must not mask them.
-		dense = true
-	}
-	alpha, beta := dirThresholds()
 	if !bottomUp {
-		return dense && frontEdges*alpha > unvisEdges
+		bottomUp = dc.dense && frontEdges*dc.alpha > unvisEdges
+	} else {
+		bottomUp = frontSize*dc.beta >= totalSize
 	}
-	return frontSize*beta >= totalSize
+	if bottomUp {
+		dc.buWork += unvisEdges
+	} else {
+		dc.tdWork += frontEdges
+	}
+	return bottomUp
 }
 
 // coReachSeq is the sequential direction-optimizing co-reachability
@@ -154,10 +224,11 @@ func (p *product) coReachSeq(y int, a *arena) {
 	}
 	L := p.vw.NumLabels()
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
+	dc := p.dirConfig()
+	bottomUp := false
 	for len(cur) > 0 {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
 		if bottomUp != prev {
 			sw++
 		}
@@ -212,9 +283,9 @@ func (p *product) coReachSeq(y int, a *arena) {
 			}
 		}
 		cur, nxt = nxt, cur
-		p.roundEnd(t0, bottomUp, front)
+		p.roundEnd(&dc, t0, bottomUp, front)
 	}
-	p.runDone(td, bu, sw)
+	p.runDone(&dc, td, bu, sw)
 	a.queue, a.queue2 = cur[:0], nxt[:0]
 }
 
@@ -261,10 +332,11 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 	}
 	L := p.vw.NumLabels()
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
+	dc := p.dirConfig()
+	bottomUp := false
 	for d := int32(1); len(cur) > 0; d++ {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(len(cur)), int64(nm))
 		if bottomUp != prev {
 			sw++
 		}
@@ -324,9 +396,9 @@ func (p *product) distToGoalSeq(y int, a *arena) {
 			}
 		}
 		cur, nxt = nxt, cur
-		p.roundEnd(t0, bottomUp, front)
+		p.roundEnd(&dc, t0, bottomUp, front)
 	}
-	p.runDone(td, bu, sw)
+	p.runDone(&dc, td, bu, sw)
 	a.queue, a.queue2 = cur[:0], nxt[:0]
 }
 

@@ -150,8 +150,14 @@ type EngineStats struct {
 	BottomUpRounds  int64 `json:"bottom_up_rounds,omitempty"`
 	BitParallelHits int64 `json:"bit_parallel_hits,omitempty"`
 	// DirectionSwitches counts the rounds where the α/β heuristic
-	// flipped expansion direction mid-search (dirbfs.go).
-	DirectionSwitches int64 `json:"direction_switches,omitempty"`
+	// flipped expansion direction mid-search (dirbfs.go). DirAlpha and
+	// DirBeta are the thresholds currently in effect — the defaults
+	// until the auto-tuner's first adjustment — and TunerAdjustments
+	// counts how many times the tuner has adopted new ones (tuner.go).
+	DirectionSwitches int64   `json:"direction_switches,omitempty"`
+	DirAlpha          float64 `json:"dir_alpha,omitempty"`
+	DirBeta           float64 `json:"dir_beta,omitempty"`
+	TunerAdjustments  int64   `json:"tuner_adjustments,omitempty"`
 	// MVCC-lite visibility: the graph's pending mutation delta (edges
 	// added / tombstoned since the last freeze), how many queries were
 	// served through an overlay view versus a pass-through snapshot,
@@ -341,6 +347,11 @@ type Engine struct {
 	// /metrics can never disagree.
 	met *engineMetrics
 
+	// tuner learns α/β direction-switch thresholds from observed round
+	// costs (tuner.go); every product search the engine runs reports
+	// into it and reads its thresholds back at search start.
+	tuner *dirTuner
+
 	// compactDelta is the NeedsCompaction watermark resolved from
 	// EngineConfig.CompactDelta (-1 = disabled).
 	compactDelta int
@@ -402,6 +413,7 @@ func NewEngine(s *Solver, g *graph.Graph, cfg EngineConfig) *Engine {
 	}
 	e.met = newEngineMetrics(reg)
 	e.met.registerSourced(e)
+	e.tuner = newDirTuner(reg)
 	e.snapshot()
 	return e
 }
@@ -541,6 +553,7 @@ type solveTiming struct {
 func (e *Engine) product(snap *engineSnap, a *arena, st *solveTiming) product {
 	p := makeProductView(snap.vw, e.s.Min, a)
 	p.counts = &e.met.kernel
+	p.tun = e.tuner
 	if st != nil {
 		p.tr = st.kt
 	}
@@ -581,6 +594,9 @@ func (e *Engine) Stats() EngineStats {
 	st.DirectionSwitches = m.kernel.switches.Value()
 	st.BitParallelHits = m.kernel.bitHits.Value()
 	st.ExchangeRounds = st.TopDownRounds + st.BottomUpRounds
+	st.DirAlpha = e.tuner.alphaGauge.Value()
+	st.DirBeta = e.tuner.betaGauge.Value()
+	st.TunerAdjustments = e.tuner.adjustments.Value()
 	if snap != nil {
 		st.Epoch = snap.epoch
 		st.Algorithm = snap.algo.String()
@@ -680,6 +696,9 @@ func (e *Engine) run(x, y int, existsOnly, traced bool) (Result, *QueryTrace) {
 		tr.TopDownRounds = st.kt.td
 		tr.BottomUpRounds = st.kt.bu
 		tr.DirectionSwitches = st.kt.sw
+		tr.DirAlpha = st.kt.alpha
+		tr.DirBeta = st.kt.beta
+		tr.Tuned = st.kt.tuned
 		tr.Rounds = st.kt.rounds
 		return res, tr
 	}

@@ -23,6 +23,8 @@ import (
 //	rspq_kernel_rounds_total{dir}            BFS rounds, top_down|bottom_up
 //	rspq_kernel_round_seconds{dir}           per-round wall time
 //	rspq_kernel_direction_switches_total     α/β heuristic flips
+//	rspq_dir_alpha / rspq_dir_beta           direction thresholds in effect (tuner.go)
+//	rspq_tuner_adjustments_total             α/β adjustments adopted by the tuner
 //	rspq_bit_parallel_hits_total             packed ≤64-state kernel dispatches
 //	rspq_compactions_total                   background delta merges
 //	rspq_compaction_seconds                  compaction wall time (histogram)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package rspq
+
+// raceEnabled reports whether the race detector instruments this
+// build; alloc-count guards are meaningless under it.
+const raceEnabled = false

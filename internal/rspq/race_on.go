@@ -1,0 +1,5 @@
+//go:build race
+
+package rspq
+
+const raceEnabled = true

@@ -81,6 +81,7 @@ type product struct {
 	sc     *graph.ShardedCSR // nil → sequential kernels
 	counts *exchCounters     // direction/bit-hit metrics sink, may be nil
 	tr     *kernelTrace      // opt-in per-query trace recording, may be nil
+	tun    *dirTuner         // α/β auto-tuner, may be nil (Engine wires it)
 }
 
 func makeProduct(g *graph.Graph, d *automaton.DFA, a *arena) product {
@@ -148,15 +149,28 @@ func (p *product) coReach(y int, a *arena) {
 // step closer to the goal (a.parent) and the label of that step
 // (a.plabel), so a shortest walk from ANY source can be read off
 // forward without another search — the basis of the batched walk tiers
-// (see sharedWalkFrom). On a sharded product it runs as a frontier
-// exchange (shardbfs.go): distances are identical (the exchange is
-// synchronous BFS), parent links may name a different — equally short —
-// successor. Both forms are direction-optimizing; distToGoal has no
-// bit-parallel form because packed words cannot carry the per-id
-// successor links this kernel exists to record.
+// (see sharedWalkFrom). Dispatch mirrors coReach: on a ≤64-state DFA
+// the bit-parallel distance kernels (distbits.go) run the packed sweep
+// level-synchronously and reconstruct the successor links afterward by
+// replaying a per-level witness log — packed words cannot carry per-id
+// links during the sweep, but the level structure determines them
+// after it. On a sharded product the kernels run as a frontier
+// exchange (shardbfs.go / distbits.go): distances are identical (the
+// exchange is synchronous BFS), parent links may name a different —
+// equally short — successor. All forms are direction-optimizing and
+// fill the same arena outputs, so every consumer is kernel-blind.
 func (p *product) distToGoal(y int, a *arena) {
+	pk := p.packed()
 	if p.sc != nil && p.sc.NumShards() > 1 {
-		p.distToGoalSharded(y, a)
+		if pk != nil {
+			p.distToGoalBitsSharded(y, a, pk)
+		} else {
+			p.distToGoalSharded(y, a)
+		}
+		return
+	}
+	if pk != nil {
+		p.distToGoalBits(y, a, pk)
 		return
 	}
 	p.distToGoalSeq(y, a)

@@ -99,6 +99,15 @@ type exch struct {
 	// side; the driver sums them between rounds to steer the direction
 	// heuristic.
 	fe, ue []int64
+
+	// lgV/lgW/lgOff are the per-shard witness logs of the bit-parallel
+	// distance exchange (distbits.go): shard s appends its installed
+	// (vertex, word) pairs in each deliver phase and seals the level in
+	// lgOff — the sharded twin of arena.wlog, same level convention.
+	// Sized lazily by resetLogs; the mark-only kernels never touch them.
+	lgV   [][]int32
+	lgW   [][]uint64
+	lgOff [][]int32
 }
 
 var exchPool = sync.Pool{New: func() any { return new(exch) }}
@@ -138,6 +147,26 @@ func getExch(K int) *exch {
 }
 
 func (e *exch) release() { exchPool.Put(e) }
+
+// resetLogs prepares the per-shard witness logs for one distance
+// exchange over the current shard count (set by getExch); buffers are
+// pooled with the exch, so warm searches append without allocating.
+func (e *exch) resetLogs() {
+	K := len(e.fr)
+	if cap(e.lgV) < K {
+		e.lgV = make([][]int32, K)
+		e.lgW = make([][]uint64, K)
+		e.lgOff = make([][]int32, K)
+	}
+	e.lgV = e.lgV[:K]
+	e.lgW = e.lgW[:K]
+	e.lgOff = e.lgOff[:K]
+	for s := 0; s < K; s++ {
+		e.lgV[s] = e.lgV[s][:0]
+		e.lgW[s] = e.lgW[s][:0]
+		e.lgOff[s] = e.lgOff[s][:0]
+	}
+}
 
 // clearAccum resets the per-shard heuristic accumulators for one round.
 func (e *exch) clearAccum() {
@@ -284,10 +313,11 @@ func (p *product) distToGoalSharded(y int, a *arena) {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
+	dc := p.dirConfig()
+	bottomUp := false
 	for d := int32(1); total > 0; d++ {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(nm))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(total), int64(nm))
 		if bottomUp != prev {
 			sw++
 		}
@@ -305,10 +335,10 @@ func (p *product) distToGoalSharded(y int, a *arena) {
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
-		p.roundEnd(t0, bottomUp, total)
+		p.roundEnd(&dc, t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	p.runDone(td, bu, sw)
+	p.runDone(&dc, td, bu, sw)
 	ex.release()
 }
 
@@ -463,10 +493,11 @@ func (p *product) coReachSharded(y int, a *arena) {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(p.vw.NumEdges(), p.n)
+	dc := p.dirConfig()
+	bottomUp := false
 	for total > 0 {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(nm))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(total), int64(nm))
 		if bottomUp != prev {
 			sw++
 		}
@@ -484,10 +515,10 @@ func (p *product) coReachSharded(y int, a *arena) {
 		fe, ue := ex.sumAccum()
 		frontEdges = fe
 		unvisEdges -= ue
-		p.roundEnd(t0, bottomUp, total)
+		p.roundEnd(&dc, t0, bottomUp, total)
 		total = frontierTotal(ex, K)
 	}
-	p.runDone(td, bu, sw)
+	p.runDone(&dc, td, bu, sw)
 	ex.release()
 }
 
@@ -603,10 +634,14 @@ func (ss *seqSearcher) computeCoReachSharded() {
 	W := exchangeWorkers(K)
 	total := len(ex.fr[home])
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(ss.vw.NumEdges(), ss.n)
+	dc := resolveDirConfig(ss.vw.NumEdges(), ss.n)
+	if ss.tr != nil {
+		ss.tr.alpha, ss.tr.beta, ss.tr.tuned = dc.alpha, dc.beta, dc.tuned
+	}
+	bottomUp := false
 	for total > 0 {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(total), int64(ss.n*pc))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(total), int64(ss.n*pc))
 		if bottomUp != prev {
 			sw++
 		}

@@ -399,10 +399,14 @@ func (ss *seqSearcher) computeCoReach() {
 		}
 	}
 	var td, bu, sw int64
-	bottomUp, dense := false, dirDense(ss.vw.NumEdges(), ss.n)
+	dc := resolveDirConfig(ss.vw.NumEdges(), ss.n)
+	if ss.tr != nil {
+		ss.tr.alpha, ss.tr.beta, ss.tr.tuned = dc.alpha, dc.beta, dc.tuned
+	}
+	bottomUp := false
 	for len(cur) > 0 {
 		prev := bottomUp
-		bottomUp = chooseBottomUp(bottomUp, dense, frontEdges, unvisEdges, int64(len(cur)), int64(ss.n*pc))
+		bottomUp = dc.choose(bottomUp, frontEdges, unvisEdges, int64(len(cur)), int64(ss.n*pc))
 		if bottomUp != prev {
 			sw++
 		}

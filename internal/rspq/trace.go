@@ -47,26 +47,35 @@ type RoundTrace struct {
 // when the query never ran a kernel (result-cache hit, invalid pair,
 // or a tier that answers without a product sweep).
 type QueryTrace struct {
-	X                 int           `json:"x"`
-	Y                 int           `json:"y"`
-	Tier              string        `json:"tier"`
-	Epoch             uint64        `json:"epoch"`
-	Overlay           bool          `json:"overlay"`
-	ResultCacheHit    bool          `json:"result_cache_hit"`
-	TableCacheHit     bool          `json:"table_cache_hit"`
-	BitParallel       bool          `json:"bit_parallel"`
-	TopDownRounds     int64         `json:"top_down_rounds"`
-	BottomUpRounds    int64         `json:"bottom_up_rounds"`
-	DirectionSwitches int64         `json:"direction_switches"`
-	Stages            []StageTiming `json:"stages"`
-	Rounds            []RoundTrace  `json:"rounds"`
-	TotalNanos        int64         `json:"total_nanos"`
+	X                 int    `json:"x"`
+	Y                 int    `json:"y"`
+	Tier              string `json:"tier"`
+	Epoch             uint64 `json:"epoch"`
+	Overlay           bool   `json:"overlay"`
+	ResultCacheHit    bool   `json:"result_cache_hit"`
+	TableCacheHit     bool   `json:"table_cache_hit"`
+	BitParallel       bool   `json:"bit_parallel"`
+	TopDownRounds     int64  `json:"top_down_rounds"`
+	BottomUpRounds    int64  `json:"bottom_up_rounds"`
+	DirectionSwitches int64  `json:"direction_switches"`
+	// DirAlpha/DirBeta are the α/β switch thresholds the query's kernel
+	// resolved (0 when no direction-optimizing kernel ran); Tuned
+	// reports whether they came from the auto-tuner rather than the
+	// defaults or a test override (tuner.go).
+	DirAlpha   int64         `json:"dir_alpha,omitempty"`
+	DirBeta    int64         `json:"dir_beta,omitempty"`
+	Tuned      bool          `json:"tuned,omitempty"`
+	Stages     []StageTiming `json:"stages"`
+	Rounds     []RoundTrace  `json:"rounds"`
+	TotalNanos int64         `json:"total_nanos"`
 }
 
 // kernelTrace is the kernel-side accumulator behind a QueryTrace.
 type kernelTrace struct {
 	rounds      []RoundTrace
 	td, bu, sw  int64
+	alpha, beta int64
+	tuned       bool
 	bitParallel bool
 }
 
@@ -140,12 +149,46 @@ func runDoneTimed(counts *exchCounters, tr *kernelTrace, td, bu, sw int64) {
 }
 
 // product-side wrappers (the summary sweep calls the package forms
-// with its own sinks).
+// with its own sinks). Unlike the package forms they carry the
+// search's dirConfig: the α/β auto-tuner learns from per-direction
+// wall time, so the clock also runs when only a tuner is listening.
 
-func (p *product) roundStart() time.Time { return roundStartTimed(p.counts, p.tr) }
-
-func (p *product) roundEnd(t0 time.Time, bottomUp bool, frontier int) {
-	roundEndTimed(p.counts, p.tr, t0, bottomUp, frontier)
+func (p *product) roundStart() time.Time {
+	if p.counts == nil && p.tr == nil && p.tun == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
-func (p *product) runDone(td, bu, sw int64) { runDoneTimed(p.counts, p.tr, td, bu, sw) }
+func (p *product) roundEnd(dc *dirConfig, t0 time.Time, bottomUp bool, frontier int) {
+	if p.counts == nil && p.tr == nil && p.tun == nil {
+		return
+	}
+	el := time.Since(t0)
+	if bottomUp {
+		dc.buNanos += el.Nanoseconds()
+	} else {
+		dc.tdNanos += el.Nanoseconds()
+	}
+	if p.counts != nil {
+		if bottomUp {
+			p.counts.roundBU.ObserveDuration(el)
+		} else {
+			p.counts.roundTD.ObserveDuration(el)
+		}
+	}
+	if p.tr != nil {
+		dir := "top_down"
+		if bottomUp {
+			dir = "bottom_up"
+		}
+		p.tr.rounds = append(p.tr.rounds, RoundTrace{Dir: dir, Frontier: frontier, Nanos: el.Nanoseconds()})
+	}
+}
+
+func (p *product) runDone(dc *dirConfig, td, bu, sw int64) {
+	runDoneTimed(p.counts, p.tr, td, bu, sw)
+	if p.tun != nil && dc.mode == DirAuto {
+		p.tun.observe(p.vw.Epoch(), p.m, dc)
+	}
+}
